@@ -1,0 +1,323 @@
+//! Dynamic (virtual-centre) clustering comparator (§2.3.2; Jensen et al.
+//! \[16\], Li et al. \[18\]).
+//!
+//! Objects are grouped into clusters represented by a *virtual centre*
+//! moving linearly plus a radius. Every member update adjusts the cluster's
+//! centre (an incremental mean) — so unlike MOIST, **each update still
+//! reaches the store**: the cluster record is rewritten, and the object
+//! departs when its report falls outside the cluster radius around the
+//! predicted centre. Re-clustering (merging clusters with similar centres)
+//! reads *every member's* moving pattern, which is the `O(n log n)` cost the
+//! paper contrasts with school merging (§2.4).
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, ScanRange, Session, Table,
+    TableSchema, Timestamp,
+};
+use moist_spatial::{Point, Velocity};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Comparator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicClusterStats {
+    /// Updates received.
+    pub updates: u64,
+    /// Cluster-record rewrites caused by updates (never shed).
+    pub center_writes: u64,
+    /// Departures (object left its cluster's radius).
+    pub departures: u64,
+    /// Cluster merges performed by re-clustering.
+    pub merges: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClusterState {
+    center: Point,
+    vel: Velocity,
+    members: u64,
+    updated_secs: f64,
+}
+
+/// The dynamic-clustering tracker.
+pub struct DynamicClusterIndex {
+    radius: f64,
+    table: Arc<Table>,
+    /// oid → cluster id (client-side membership map, as in \[16\]).
+    membership: HashMap<u64, u64>,
+    next_cluster: u64,
+    stats: DynamicClusterStats,
+}
+
+const FAMILY: &str = "cluster";
+const QUAL: &str = "c";
+
+impl DynamicClusterIndex {
+    /// Creates the tracker; `radius` bounds how far a member may stray from
+    /// the predicted virtual centre.
+    pub fn new(store: &Arc<Bigtable>, radius: f64, name: &str) -> Result<Self> {
+        let table = match store.open_table(name) {
+            Ok(t) => t,
+            Err(_) => store.create_table(TableSchema::new(
+                name,
+                vec![ColumnFamily::in_memory(FAMILY, 1)],
+            )?)?,
+        };
+        Ok(DynamicClusterIndex {
+            radius: radius.max(f64::MIN_POSITIVE),
+            table,
+            membership: HashMap::new(),
+            next_cluster: 0,
+            stats: DynamicClusterStats::default(),
+        })
+    }
+
+    fn encode(c: &ClusterState) -> Vec<u8> {
+        let mut v = Vec::with_capacity(48);
+        v.extend_from_slice(&c.center.x.to_le_bytes());
+        v.extend_from_slice(&c.center.y.to_le_bytes());
+        v.extend_from_slice(&c.vel.vx.to_le_bytes());
+        v.extend_from_slice(&c.vel.vy.to_le_bytes());
+        v.extend_from_slice(&c.members.to_le_bytes());
+        v.extend_from_slice(&c.updated_secs.to_le_bytes());
+        v
+    }
+
+    fn decode(buf: &[u8]) -> Option<ClusterState> {
+        if buf.len() < 48 {
+            return None;
+        }
+        let f = |r: std::ops::Range<usize>| f64::from_le_bytes(buf[r].try_into().unwrap());
+        Some(ClusterState {
+            center: Point::new(f(0..8), f(8..16)),
+            vel: Velocity::new(f(16..24), f(24..32)),
+            members: u64::from_le_bytes(buf[32..40].try_into().unwrap()),
+            updated_secs: f(40..48),
+        })
+    }
+
+    fn read_cluster(&self, s: &mut Session, cid: u64) -> Result<Option<ClusterState>> {
+        Ok(s.get_latest(&self.table, &RowKey::from_u64(cid), FAMILY, QUAL)?
+            .and_then(|c| Self::decode(&c.value)))
+    }
+
+    fn write_cluster(&mut self, s: &mut Session, cid: u64, state: &ClusterState, t: Timestamp) -> Result<()> {
+        s.mutate_row(
+            &self.table,
+            &RowKey::from_u64(cid),
+            &[Mutation::put(FAMILY, QUAL, t, Self::encode(state))],
+        )?;
+        self.stats.center_writes += 1;
+        Ok(())
+    }
+
+    fn new_cluster(&mut self, s: &mut Session, loc: &Point, vel: &Velocity, t: Timestamp) -> Result<u64> {
+        let cid = self.next_cluster;
+        self.next_cluster += 1;
+        let state = ClusterState {
+            center: *loc,
+            vel: *vel,
+            members: 1,
+            updated_secs: t.as_secs_f64(),
+        };
+        self.write_cluster(s, cid, &state, t)?;
+        Ok(cid)
+    }
+
+    /// Processes one update. Every update writes the cluster record (centre
+    /// adjustment) — the store sees O(updates) writes regardless of cluster
+    /// size, which is the comparator's key weakness vs. schooling.
+    pub fn update(
+        &mut self,
+        s: &mut Session,
+        oid: u64,
+        loc: &Point,
+        vel: &Velocity,
+        t: Timestamp,
+    ) -> Result<()> {
+        self.stats.updates += 1;
+        let now = t.as_secs_f64();
+        match self.membership.get(&oid).copied() {
+            None => {
+                let cid = self.new_cluster(s, loc, vel, t)?;
+                self.membership.insert(oid, cid);
+            }
+            Some(cid) => {
+                let state = self.read_cluster(s, cid)?;
+                match state {
+                    None => {
+                        let cid = self.new_cluster(s, loc, vel, t)?;
+                        self.membership.insert(oid, cid);
+                    }
+                    Some(mut state) => {
+                        let predicted = state.center.advance(state.vel, now - state.updated_secs);
+                        if predicted.distance(loc) > self.radius {
+                            // Departure: the object forms its own cluster.
+                            self.stats.departures += 1;
+                            state.members = state.members.saturating_sub(1).max(1);
+                            self.write_cluster(s, cid, &state, t)?;
+                            let new_cid = self.new_cluster(s, loc, vel, t)?;
+                            self.membership.insert(oid, new_cid);
+                        } else {
+                            // Incremental centre/velocity adjustment
+                            // (weighted toward the existing aggregate).
+                            let w = 1.0 / state.members.max(1) as f64;
+                            state.center = Point::new(
+                                predicted.x * (1.0 - w) + loc.x * w,
+                                predicted.y * (1.0 - w) + loc.y * w,
+                            );
+                            state.vel = Velocity::new(
+                                state.vel.vx * (1.0 - w) + vel.vx * w,
+                                state.vel.vy * (1.0 - w) + vel.vy * w,
+                            );
+                            state.updated_secs = now;
+                            self.write_cluster(s, cid, &state, t)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-clustering: merges clusters whose predicted centres sit within
+    /// the radius and whose velocities are similar. Reads **every** cluster
+    /// record and sorts — the `O(n log n)` sweep of \[16\]/\[18\].
+    pub fn recluster(&mut self, s: &mut Session, t: Timestamp, delta_v: f64) -> Result<usize> {
+        let rows = s.scan(&self.table, &ScanRange::all(), &ReadOptions::latest_in(FAMILY), None)?;
+        let now = t.as_secs_f64();
+        let mut clusters: Vec<(u64, ClusterState)> = rows
+            .iter()
+            .filter_map(|r| {
+                let cid = r.key.as_u64()?;
+                let st = Self::decode(&r.latest(FAMILY, QUAL)?.value)?;
+                Some((cid, st))
+            })
+            .collect();
+        // O(n log n): sort by predicted x then linear merge scan.
+        clusters.sort_by(|a, b| {
+            let pa = a.1.center.advance(a.1.vel, now - a.1.updated_secs).x;
+            let pb = b.1.center.advance(b.1.vel, now - b.1.updated_secs).x;
+            pa.total_cmp(&pb)
+        });
+        let mut merged = 0usize;
+        let mut absorbed_into: HashMap<u64, u64> = HashMap::new();
+        for i in 0..clusters.len() {
+            let (cid_i, si) = clusters[i];
+            if absorbed_into.contains_key(&cid_i) {
+                continue;
+            }
+            let pi = si.center.advance(si.vel, now - si.updated_secs);
+            for (cid_j, sj) in clusters.iter().skip(i + 1) {
+                if absorbed_into.contains_key(cid_j) {
+                    continue;
+                }
+                let pj = sj.center.advance(sj.vel, now - sj.updated_secs);
+                if pj.x - pi.x > self.radius {
+                    break; // sorted by x: no further candidates
+                }
+                if pi.distance(&pj) <= self.radius && si.vel.difference(&sj.vel) <= delta_v {
+                    absorbed_into.insert(*cid_j, cid_i);
+                    merged += 1;
+                }
+            }
+        }
+        // Apply: delete absorbed clusters, grow survivors, remap members.
+        for (&absorbed, &survivor) in &absorbed_into {
+            if let Some(mut surv) = self.read_cluster(s, survivor)? {
+                let extra = self
+                    .read_cluster(s, absorbed)?
+                    .map(|c| c.members)
+                    .unwrap_or(1);
+                surv.members += extra;
+                self.write_cluster(s, survivor, &surv, t)?;
+            }
+            s.mutate_row(&self.table, &RowKey::from_u64(absorbed), &[Mutation::DeleteRow])?;
+            for cid in self.membership.values_mut() {
+                if *cid == absorbed {
+                    *cid = survivor;
+                }
+            }
+        }
+        self.stats.merges += merged as u64;
+        Ok(merged)
+    }
+
+    /// Number of live clusters (store rows).
+    pub fn cluster_count(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DynamicClusterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_bigtable::CostProfile;
+
+    fn setup(radius: f64) -> (Arc<Bigtable>, DynamicClusterIndex, Session) {
+        let store = Bigtable::new();
+        let idx = DynamicClusterIndex::new(&store, radius, "dyn").unwrap();
+        let s = store.session_with(CostProfile::free());
+        (store, idx, s)
+    }
+
+    #[test]
+    fn every_update_writes_even_without_departure() {
+        let (_st, mut idx, mut s) = setup(50.0);
+        let v = Velocity::new(1.0, 0.0);
+        for t in 0..10u64 {
+            idx.update(&mut s, 1, &Point::new(t as f64, 0.0), &v, Timestamp::from_secs(t))
+                .unwrap();
+        }
+        let st = idx.stats();
+        assert_eq!(st.updates, 10);
+        assert_eq!(st.center_writes, 10, "no shedding in dynamic clustering");
+        assert_eq!(st.departures, 0);
+    }
+
+    #[test]
+    fn straying_member_departs_into_its_own_cluster() {
+        let (_st, mut idx, mut s) = setup(10.0);
+        let v = Velocity::new(1.0, 0.0);
+        idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap();
+        // Far from the predicted centre → departure.
+        idx.update(&mut s, 1, &Point::new(500.0, 0.0), &v, Timestamp::from_secs(1)).unwrap();
+        assert_eq!(idx.stats().departures, 1);
+        assert_eq!(idx.cluster_count(), 2);
+    }
+
+    #[test]
+    fn recluster_merges_similar_clusters() {
+        let (_st, mut idx, mut s) = setup(20.0);
+        let v = Velocity::new(1.0, 0.0);
+        // Three objects forming three singleton clusters, two of them close.
+        idx.update(&mut s, 1, &Point::new(100.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
+        idx.update(&mut s, 2, &Point::new(105.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
+        idx.update(&mut s, 3, &Point::new(800.0, 800.0), &v, Timestamp::from_secs(0)).unwrap();
+        assert_eq!(idx.cluster_count(), 3);
+        let merged = idx.recluster(&mut s, Timestamp::from_secs(0), 0.5).unwrap();
+        assert_eq!(merged, 1);
+        assert_eq!(idx.cluster_count(), 2);
+        // Members of the absorbed cluster were remapped: next update of
+        // object 2 adjusts the surviving cluster rather than a dead row.
+        idx.update(&mut s, 2, &Point::new(106.0, 100.0), &v, Timestamp::from_secs(1)).unwrap();
+        assert_eq!(idx.stats().departures, 0);
+        assert_eq!(idx.cluster_count(), 2);
+    }
+
+    #[test]
+    fn velocity_gate_blocks_merging_opposite_movers() {
+        let (_st, mut idx, mut s) = setup(20.0);
+        idx.update(&mut s, 1, &Point::new(100.0, 100.0), &Velocity::new(1.0, 0.0), Timestamp::from_secs(0))
+            .unwrap();
+        idx.update(&mut s, 2, &Point::new(105.0, 100.0), &Velocity::new(-1.0, 0.0), Timestamp::from_secs(0))
+            .unwrap();
+        let merged = idx.recluster(&mut s, Timestamp::from_secs(0), 0.5).unwrap();
+        assert_eq!(merged, 0, "opposite velocities must not merge");
+    }
+}

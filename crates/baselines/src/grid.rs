@@ -1,0 +1,148 @@
+//! Naive grid indexer: the no-schooling comparator.
+//!
+//! Every object writes its location and its spatial-index entry on every
+//! update — no Affiliation Table, no shedding. This isolates what object
+//! schooling buys: MOIST with ε=0 still pays the affiliation read/write,
+//! whereas this baseline is the leanest possible per-update write path, so
+//! it bounds the best any non-shedding indexer can do on the same store.
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, RowMutation, ScanRange,
+    Session, Table, TableSchema, Timestamp,
+};
+use moist_spatial::{Point, Space};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A plain cell-grid index over the shared store.
+pub struct GridIndex {
+    space: Space,
+    table: Arc<Table>,
+    /// Last filed leaf per object (in-server cache, as a real front-end
+    /// keeps; avoids a read per update).
+    last_leaf: HashMap<u64, u64>,
+}
+
+const FAMILY: &str = "id";
+const QUAL: &str = "p";
+
+impl GridIndex {
+    /// Creates the index table (or opens it when it already exists).
+    pub fn new(store: &Arc<Bigtable>, space: Space, name: &str) -> Result<Self> {
+        let table = match store.open_table(name) {
+            Ok(t) => t,
+            Err(_) => store.create_table(TableSchema::new(
+                name,
+                vec![ColumnFamily::in_memory(FAMILY, 1)],
+            )?)?,
+        };
+        Ok(GridIndex {
+            space,
+            table,
+            last_leaf: HashMap::new(),
+        })
+    }
+
+    fn encode(p: &Point) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&p.x.to_le_bytes());
+        v.extend_from_slice(&p.y.to_le_bytes());
+        v
+    }
+
+    fn decode(buf: &[u8]) -> Option<Point> {
+        if buf.len() < 16 {
+            return None;
+        }
+        Some(Point::new(
+            f64::from_le_bytes(buf[0..8].try_into().ok()?),
+            f64::from_le_bytes(buf[8..16].try_into().ok()?),
+        ))
+    }
+
+    /// Updates one object's position (delete old entry + insert new, one
+    /// batch RPC).
+    pub fn update(&mut self, s: &mut Session, oid: u64, loc: &Point, ts: Timestamp) -> Result<()> {
+        let leaf = self.space.leaf_cell(loc).index;
+        let put = RowMutation::new(
+            RowKey::composite(leaf, oid),
+            vec![Mutation::put(FAMILY, QUAL, ts, Self::encode(loc))],
+        );
+        match self.last_leaf.insert(oid, leaf) {
+            Some(old) if old != leaf => {
+                let del =
+                    RowMutation::new(RowKey::composite(old, oid), vec![Mutation::DeleteRow]);
+                s.mutate_rows(&self.table, &[del, put])?;
+            }
+            _ => {
+                s.mutate_rows(&self.table, &[put])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All objects in the given cell range `[start_leaf, end_leaf)`.
+    pub fn scan_range(
+        &self,
+        s: &mut Session,
+        start_leaf: u64,
+        end_leaf: u64,
+    ) -> Result<Vec<(u64, Point)>> {
+        let rows = s.scan(
+            &self.table,
+            &ScanRange::between(RowKey::composite(start_leaf, 0), RowKey::composite(end_leaf, 0)),
+            &ReadOptions::latest_in(FAMILY),
+            None,
+        )?;
+        Ok(rows
+            .into_iter()
+            .filter_map(|r| {
+                let (_, oid) = r.key.split_composite()?;
+                let p = Self::decode(&r.latest(FAMILY, QUAL)?.value)?;
+                Some((oid, p))
+            })
+            .collect())
+    }
+
+    /// Indexed object count.
+    pub fn len(&self) -> usize {
+        self.last_leaf.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.last_leaf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_bigtable::CostProfile;
+
+    #[test]
+    fn update_moves_exactly_one_entry() {
+        let store = Bigtable::new();
+        let space = Space::paper_map();
+        let mut g = GridIndex::new(&store, space, "grid").unwrap();
+        let mut s = store.session_with(CostProfile::free());
+        g.update(&mut s, 1, &Point::new(100.0, 100.0), Timestamp(0)).unwrap();
+        g.update(&mut s, 1, &Point::new(900.0, 900.0), Timestamp(1)).unwrap();
+        let all = g.scan_range(&mut s, 0, u64::MAX >> 8).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, Point::new(900.0, 900.0));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn reopen_shares_the_table() {
+        let store = Bigtable::new();
+        let space = Space::paper_map();
+        let mut a = GridIndex::new(&store, space, "grid").unwrap();
+        let mut s = store.session_with(CostProfile::free());
+        a.update(&mut s, 5, &Point::new(10.0, 10.0), Timestamp(0)).unwrap();
+        let b = GridIndex::new(&store, space, "grid").unwrap();
+        let seen = b.scan_range(&mut s, 0, u64::MAX >> 8).unwrap();
+        assert_eq!(seen.len(), 1);
+    }
+}

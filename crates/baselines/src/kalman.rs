@@ -1,0 +1,311 @@
+//! Kalman-filter update shedding (§2.2: "An alternative could be to shed
+//! updates using a Kalman Filter \[14\]" — Jain, Chang, Wang, SIGMOD 2004).
+//!
+//! Server and client each run the same per-axis constant-velocity Kalman
+//! filter. The client compares its true position against the filter's
+//! prediction and transmits only when the innovation exceeds the precision
+//! bound ε; the server coasts on the prediction otherwise. Unlike object
+//! schools, shedding here exploits *only* the single object's own motion
+//! model — the paper's contrast: "MOIST sheds updates by exploiting
+//! relationships between users, rather than making use of the data of just
+//! a single user".
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Mutation, Result, RowKey, Session, Table, TableSchema, Timestamp,
+};
+use moist_spatial::{Point, Velocity};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-axis constant-velocity Kalman filter state.
+#[derive(Debug, Clone, Copy)]
+struct Axis {
+    /// Position estimate.
+    x: f64,
+    /// Velocity estimate.
+    v: f64,
+    /// Covariance (2×2, symmetric): p00, p01, p11.
+    p00: f64,
+    p01: f64,
+    p11: f64,
+}
+
+impl Axis {
+    fn new(x: f64, v: f64) -> Self {
+        Axis {
+            x,
+            v,
+            p00: 1.0,
+            p01: 0.0,
+            p11: 1.0,
+        }
+    }
+
+    /// Predict `dt` seconds ahead under the constant-velocity model with
+    /// process noise `q`.
+    fn predict(&mut self, dt: f64, q: f64) {
+        self.x += self.v * dt;
+        // P = F P Fᵀ + Q with F = [[1, dt], [0, 1]].
+        let p00 = self.p00 + dt * (self.p01 + self.p01) + dt * dt * self.p11;
+        let p01 = self.p01 + dt * self.p11;
+        self.p00 = p00 + q * dt * dt * dt / 3.0;
+        self.p01 = p01 + q * dt * dt / 2.0;
+        self.p11 += q * dt;
+    }
+
+    /// Measurement update with position observation `z` (noise `r`).
+    fn correct(&mut self, z: f64, r: f64) {
+        let s = self.p00 + r;
+        let k0 = self.p00 / s;
+        let k1 = self.p01 / s;
+        let innovation = z - self.x;
+        self.x += k0 * innovation;
+        self.v += k1 * innovation;
+        let p00 = (1.0 - k0) * self.p00;
+        let p01 = (1.0 - k0) * self.p01;
+        let p11 = self.p11 - k1 * self.p01;
+        self.p00 = p00;
+        self.p01 = p01;
+        self.p11 = p11;
+    }
+}
+
+/// Shared filter state for one object (client and server run identical
+/// copies, so the server's prediction equals the client's).
+#[derive(Debug, Clone, Copy)]
+struct FilterState {
+    ax: Axis,
+    ay: Axis,
+    updated_secs: f64,
+}
+
+/// Tracker statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KalmanStats {
+    /// Updates observed at clients.
+    pub updates: u64,
+    /// Updates shed (prediction within ε).
+    pub shed: u64,
+    /// Updates transmitted and written to the store.
+    pub transmitted: u64,
+}
+
+impl KalmanStats {
+    /// Fraction of updates shed.
+    pub fn shed_ratio(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.updates as f64
+        }
+    }
+}
+
+/// The Kalman-shedding tracker over the shared store.
+pub struct KalmanIndex {
+    epsilon: f64,
+    process_noise: f64,
+    measurement_noise: f64,
+    table: Arc<Table>,
+    filters: HashMap<u64, FilterState>,
+    stats: KalmanStats,
+}
+
+const FAMILY: &str = "kf";
+const QUAL: &str = "s";
+
+impl KalmanIndex {
+    /// Creates the tracker. `epsilon` is the precision bound; noise terms
+    /// tune the filter's trust in model vs measurements.
+    pub fn new(
+        store: &Arc<Bigtable>,
+        epsilon: f64,
+        process_noise: f64,
+        measurement_noise: f64,
+        name: &str,
+    ) -> Result<Self> {
+        let table = match store.open_table(name) {
+            Ok(t) => t,
+            Err(_) => store.create_table(TableSchema::new(
+                name,
+                vec![ColumnFamily::in_memory(FAMILY, 1)],
+            )?)?,
+        };
+        Ok(KalmanIndex {
+            epsilon: epsilon.max(0.0),
+            process_noise: process_noise.max(1e-9),
+            measurement_noise: measurement_noise.max(1e-9),
+            table,
+            filters: HashMap::new(),
+            stats: KalmanStats::default(),
+        })
+    }
+
+    fn encode(f: &FilterState) -> Vec<u8> {
+        let mut v = Vec::with_capacity(40);
+        v.extend_from_slice(&f.ax.x.to_le_bytes());
+        v.extend_from_slice(&f.ay.x.to_le_bytes());
+        v.extend_from_slice(&f.ax.v.to_le_bytes());
+        v.extend_from_slice(&f.ay.v.to_le_bytes());
+        v.extend_from_slice(&f.updated_secs.to_le_bytes());
+        v
+    }
+
+    /// Processes one client observation; returns `true` when it was shed.
+    pub fn update(
+        &mut self,
+        s: &mut Session,
+        oid: u64,
+        loc: &Point,
+        vel: &Velocity,
+        t: Timestamp,
+    ) -> Result<bool> {
+        self.stats.updates += 1;
+        let now = t.as_secs_f64();
+        match self.filters.get_mut(&oid) {
+            None => {
+                let state = FilterState {
+                    ax: Axis::new(loc.x, vel.vx),
+                    ay: Axis::new(loc.y, vel.vy),
+                    updated_secs: now,
+                };
+                self.filters.insert(oid, state);
+                s.mutate_row(
+                    &self.table,
+                    &RowKey::from_u64(oid),
+                    &[Mutation::put(FAMILY, QUAL, t, Self::encode(&state))],
+                )?;
+                self.stats.transmitted += 1;
+                Ok(false)
+            }
+            Some(state) => {
+                let dt = (now - state.updated_secs).max(0.0);
+                state.ax.predict(dt, self.process_noise);
+                state.ay.predict(dt, self.process_noise);
+                state.updated_secs = now;
+                let predicted = Point::new(state.ax.x, state.ay.x);
+                if predicted.distance(loc) <= self.epsilon {
+                    // Server coasts on the shared prediction: shed.
+                    self.stats.shed += 1;
+                    Ok(true)
+                } else {
+                    state.ax.correct(loc.x, self.measurement_noise);
+                    state.ay.correct(loc.y, self.measurement_noise);
+                    state.ax.v = vel.vx; // reported velocity is authoritative
+                    state.ay.v = vel.vy;
+                    let snapshot = *state;
+                    s.mutate_row(
+                        &self.table,
+                        &RowKey::from_u64(oid),
+                        &[Mutation::put(FAMILY, QUAL, t, Self::encode(&snapshot))],
+                    )?;
+                    self.stats.transmitted += 1;
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// The server-side position estimate for `oid` at `t`.
+    pub fn position(&self, oid: u64, t: Timestamp) -> Option<Point> {
+        self.filters.get(&oid).map(|f| {
+            let dt = (t.as_secs_f64() - f.updated_secs).max(0.0);
+            Point::new(f.ax.x + f.ax.v * dt, f.ay.x + f.ay.v * dt)
+        })
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KalmanStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_bigtable::CostProfile;
+
+    fn setup(epsilon: f64) -> (Arc<Bigtable>, KalmanIndex, Session) {
+        let store = Bigtable::new();
+        let idx = KalmanIndex::new(&store, epsilon, 0.1, 0.5, "kf").unwrap();
+        let s = store.session_with(CostProfile::free());
+        (store, idx, s)
+    }
+
+    #[test]
+    fn linear_motion_is_shed_after_initialisation() {
+        let (_st, mut idx, mut s) = setup(5.0);
+        let v = Velocity::new(2.0, 0.0);
+        // First update transmits (initialisation).
+        assert!(!idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap());
+        // Constant-velocity motion matches the prediction exactly: all shed.
+        for t in 1..=10u64 {
+            let p = Point::new(2.0 * t as f64, 0.0);
+            assert!(
+                idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap(),
+                "update at t={t} should be shed"
+            );
+        }
+        let st = idx.stats();
+        assert_eq!(st.transmitted, 1);
+        assert_eq!(st.shed, 10);
+        assert!(st.shed_ratio() > 0.9);
+    }
+
+    #[test]
+    fn sharp_turns_force_transmission_then_recovery() {
+        let (_st, mut idx, mut s) = setup(3.0);
+        let east = Velocity::new(2.0, 0.0);
+        idx.update(&mut s, 1, &Point::new(0.0, 0.0), &east, Timestamp::from_secs(0)).unwrap();
+        for t in 1..=5u64 {
+            idx.update(&mut s, 1, &Point::new(2.0 * t as f64, 0.0), &east, Timestamp::from_secs(t))
+                .unwrap();
+        }
+        // 90° turn: the next few fixes deviate and must transmit.
+        let north = Velocity::new(0.0, 2.0);
+        let shed_on_turn = idx
+            .update(&mut s, 1, &Point::new(10.0, 8.0), &north, Timestamp::from_secs(9))
+            .unwrap();
+        assert!(!shed_on_turn, "a sharp turn must transmit");
+        // After the correction, northbound motion is shed again.
+        let mut shed_count = 0;
+        for t in 10..=15u64 {
+            let p = Point::new(10.0, 8.0 + 2.0 * (t - 9) as f64);
+            if idx.update(&mut s, 1, &p, &north, Timestamp::from_secs(t)).unwrap() {
+                shed_count += 1;
+            }
+        }
+        assert!(shed_count >= 4, "filter must re-lock after the turn: {shed_count}");
+    }
+
+    #[test]
+    fn server_position_tracks_within_epsilon_on_shed_stretches() {
+        let (_st, mut idx, mut s) = setup(4.0);
+        let v = Velocity::new(1.5, -0.5);
+        idx.update(&mut s, 7, &Point::new(100.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
+        for t in 1..=8u64 {
+            let truth = Point::new(100.0 + 1.5 * t as f64, 100.0 - 0.5 * t as f64);
+            idx.update(&mut s, 7, &truth, &v, Timestamp::from_secs(t)).unwrap();
+            let est = idx.position(7, Timestamp::from_secs(t)).unwrap();
+            assert!(
+                est.distance(&truth) <= 4.0 + 1e-9,
+                "t={t}: estimate {est:?} vs truth {truth:?}"
+            );
+        }
+        assert!(idx.position(99, Timestamp::ZERO).is_none());
+    }
+
+    #[test]
+    fn epsilon_zero_transmits_everything_noisy() {
+        let (_st, mut idx, mut s) = setup(0.0);
+        let v = Velocity::new(1.0, 0.0);
+        for t in 0..5u64 {
+            // Alternating noise breaks exact prediction at ε = 0.
+            let noise = if t % 2 == 0 { 0.001 } else { -0.001 };
+            let p = Point::new(t as f64 + noise, 0.0);
+            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap();
+        }
+        assert_eq!(idx.stats().shed, 0);
+        assert_eq!(idx.stats().transmitted, 5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Static (prototype-based) clustering comparator (§2.3.1; \[12\], \[9\]).
+//!
+//! A fixed set of motion prototypes (direction × speed class) is chosen up
+//! front. Each object is represented by an *anchor* (position + time) plus
+//! its assigned prototype velocity; its modelled position is
+//! `anchor + prototype · Δt`. An update whose reported position stays within
+//! ε of the model is shed; otherwise the object is **re-classified**: a new
+//! prototype is picked and the anchor rewritten — one index write.
+//!
+//! The contrast with object schools (Figure 1): every turn that breaks the
+//! prototype forces a write for *every* object individually, whereas a
+//! school sheds followers as long as the leader mirrors the turn.
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Mutation, Result, RowKey, Session, Table, TableSchema, Timestamp,
+};
+use moist_spatial::{Point, Velocity};
+use std::sync::Arc;
+
+/// The comparator's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticClusterStats {
+    /// Updates received.
+    pub updates: u64,
+    /// Updates shed (model matched within ε).
+    pub shed: u64,
+    /// Re-classifications (anchor rewrites).
+    pub reclassified: u64,
+}
+
+/// Static-prototype tracker over the shared store.
+pub struct StaticClusterIndex {
+    prototypes: Vec<Velocity>,
+    epsilon: f64,
+    table: Arc<Table>,
+    stats: StaticClusterStats,
+}
+
+const FAMILY: &str = "anchor";
+const QUAL: &str = "a";
+
+impl StaticClusterIndex {
+    /// Builds the standard prototype set: `directions` headings at each of
+    /// `speeds`, plus the zero prototype for stationary objects.
+    pub fn prototype_set(directions: usize, speeds: &[f64]) -> Vec<Velocity> {
+        let mut protos = vec![Velocity::ZERO];
+        for &speed in speeds {
+            for d in 0..directions.max(1) {
+                let theta = d as f64 * std::f64::consts::TAU / directions.max(1) as f64;
+                protos.push(Velocity::new(speed * theta.cos(), speed * theta.sin()));
+            }
+        }
+        protos
+    }
+
+    /// Creates the tracker with the given prototypes and deviation bound ε.
+    pub fn new(
+        store: &Arc<Bigtable>,
+        prototypes: Vec<Velocity>,
+        epsilon: f64,
+        name: &str,
+    ) -> Result<Self> {
+        let table = match store.open_table(name) {
+            Ok(t) => t,
+            Err(_) => store.create_table(TableSchema::new(
+                name,
+                vec![ColumnFamily::in_memory(FAMILY, 1)],
+            )?)?,
+        };
+        Ok(StaticClusterIndex {
+            prototypes: if prototypes.is_empty() {
+                vec![Velocity::ZERO]
+            } else {
+                prototypes
+            },
+            epsilon: epsilon.max(0.0),
+            table,
+            stats: StaticClusterStats::default(),
+        })
+    }
+
+    fn encode(anchor: &Point, proto_idx: usize, anchor_secs: f64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(28);
+        v.extend_from_slice(&anchor.x.to_le_bytes());
+        v.extend_from_slice(&anchor.y.to_le_bytes());
+        v.extend_from_slice(&(proto_idx as u32).to_le_bytes());
+        v.extend_from_slice(&anchor_secs.to_le_bytes());
+        v
+    }
+
+    fn decode(buf: &[u8]) -> Option<(Point, usize, f64)> {
+        if buf.len() < 28 {
+            return None;
+        }
+        Some((
+            Point::new(
+                f64::from_le_bytes(buf[0..8].try_into().ok()?),
+                f64::from_le_bytes(buf[8..16].try_into().ok()?),
+            ),
+            u32::from_le_bytes(buf[16..20].try_into().ok()?) as usize,
+            f64::from_le_bytes(buf[20..28].try_into().ok()?),
+        ))
+    }
+
+    fn best_prototype(&self, vel: &Velocity) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in self.prototypes.iter().enumerate() {
+            let d = p.difference(vel);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Processes one update: shed when the prototype model still matches,
+    /// re-classify otherwise. Returns `true` when the update was shed.
+    pub fn update(
+        &mut self,
+        s: &mut Session,
+        oid: u64,
+        loc: &Point,
+        vel: &Velocity,
+        t: Timestamp,
+    ) -> Result<bool> {
+        self.stats.updates += 1;
+        let key = RowKey::from_u64(oid);
+        if let Some(cell) = s.get_latest(&self.table, &key, FAMILY, QUAL)? {
+            if let Some((anchor, proto_idx, anchor_secs)) = Self::decode(&cell.value) {
+                let proto = self.prototypes[proto_idx.min(self.prototypes.len() - 1)];
+                let modelled = anchor.advance(proto, t.as_secs_f64() - anchor_secs);
+                if modelled.distance(loc) <= self.epsilon {
+                    self.stats.shed += 1;
+                    return Ok(true);
+                }
+            }
+        }
+        // Re-classification: new anchor + nearest prototype, one write.
+        let proto_idx = self.best_prototype(vel);
+        s.mutate_row(
+            &self.table,
+            &key,
+            &[Mutation::put(FAMILY, QUAL, t, Self::encode(loc, proto_idx, t.as_secs_f64()))],
+        )?;
+        self.stats.reclassified += 1;
+        Ok(false)
+    }
+
+    /// Modelled current position of an object.
+    pub fn position(&self, s: &mut Session, oid: u64, t: Timestamp) -> Result<Option<Point>> {
+        match s.get_latest(&self.table, &RowKey::from_u64(oid), FAMILY, QUAL)? {
+            None => Ok(None),
+            Some(cell) => Ok(Self::decode(&cell.value).map(|(anchor, idx, secs)| {
+                let proto = self.prototypes[idx.min(self.prototypes.len() - 1)];
+                anchor.advance(proto, t.as_secs_f64() - secs)
+            })),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> StaticClusterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_bigtable::CostProfile;
+
+    fn setup(epsilon: f64) -> (Arc<Bigtable>, StaticClusterIndex, Session) {
+        let store = Bigtable::new();
+        let protos = StaticClusterIndex::prototype_set(8, &[1.0, 2.0]);
+        let idx = StaticClusterIndex::new(&store, protos, epsilon, "static").unwrap();
+        let s = store.session_with(CostProfile::free());
+        (store, idx, s)
+    }
+
+    #[test]
+    fn prototype_set_covers_directions_and_zero() {
+        let protos = StaticClusterIndex::prototype_set(4, &[1.0]);
+        assert_eq!(protos.len(), 5);
+        assert_eq!(protos[0], Velocity::ZERO);
+        // All four unit headings present.
+        assert!(protos.iter().any(|v| (v.vx - 1.0).abs() < 1e-9));
+        assert!(protos.iter().any(|v| (v.vy - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn straight_motion_is_shed_until_a_turn() {
+        let (_st, mut idx, mut s) = setup(5.0);
+        let v = Velocity::new(1.0, 0.0);
+        // First update classifies (write).
+        assert!(!idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap());
+        // Straight-line motion matching the east prototype: shed.
+        for t in 1..=5u64 {
+            let p = Point::new(t as f64, 0.0);
+            assert!(idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap());
+        }
+        // A 90° turn breaks the model → reclassify.
+        let turned = Point::new(5.0, 30.0);
+        assert!(!idx
+            .update(&mut s, 1, &turned, &Velocity::new(0.0, 1.0), Timestamp::from_secs(6))
+            .unwrap());
+        let st = idx.stats();
+        assert_eq!(st.updates, 7);
+        assert_eq!(st.shed, 5);
+        assert_eq!(st.reclassified, 2);
+    }
+
+    #[test]
+    fn position_follows_the_prototype_model() {
+        let (_st, mut idx, mut s) = setup(5.0);
+        idx.update(&mut s, 1, &Point::new(10.0, 10.0), &Velocity::new(1.0, 0.0), Timestamp::from_secs(0))
+            .unwrap();
+        let p = idx.position(&mut s, 1, Timestamp::from_secs(4)).unwrap().unwrap();
+        assert!((p.x - 14.0).abs() < 1e-9);
+        assert!(idx.position(&mut s, 9, Timestamp::ZERO).unwrap().is_none());
+    }
+
+    #[test]
+    fn off_prototype_speed_triggers_more_reclassification() {
+        // Speed 1.5 sits between prototypes 1.0 and 2.0: the model drifts
+        // 0.5 u/s, so with ε=2 a reclassification happens every ~4 s.
+        let (_st, mut idx, mut s) = setup(2.0);
+        let v = Velocity::new(1.5, 0.0);
+        for t in 0..=20u64 {
+            let p = Point::new(1.5 * t as f64, 0.0);
+            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap();
+        }
+        let st = idx.stats();
+        assert!(st.reclassified >= 4, "drift must force rewrites: {st:?}");
+        assert!(st.shed > 0, "some updates still shed: {st:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Wall-clock micro-benchmarks of the PPP archiving pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moist::archive::{HistoryRecord, PingPongBuffer, PppArchiver, PppConfig, RECORD_BYTES};
+use moist::spatial::{Point, Rect, Space, Velocity};
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppp");
+    group.bench_function("ingest", |b| {
+        let archiver = PppArchiver::new(Space::paper_map(), PppConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let oid = t % 10_000;
+            black_box(archiver.ingest(
+                HistoryRecord::new(
+                    oid,
+                    t,
+                    Point::new((oid % 1000) as f64, (oid % 997) as f64),
+                    Velocity::new(1.0, 0.0),
+                ),
+                t,
+            ))
+        })
+    });
+    group.bench_function("pingpong_append_column", |b| {
+        let mut buf = PingPongBuffer::new(4096 * RECORD_BYTES);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let col: Vec<HistoryRecord> = (0..8)
+                .map(|i| {
+                    HistoryRecord::new(t % 100, t * 8 + i, Point::new(1.0, 2.0), Velocity::ZERO)
+                })
+                .collect();
+            black_box(buf.append_column(col, t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_history_queries(c: &mut Criterion) {
+    // Pre-populate an archive with 2000 objects × 64 records.
+    let archiver = PppArchiver::new(Space::paper_map(), PppConfig::default());
+    for oid in 0..2000u64 {
+        let x = (oid % 1000) as f64;
+        for t in 0..64u64 {
+            archiver.ingest(
+                HistoryRecord::new(oid, t * 1_000_000, Point::new(x, x), Velocity::ZERO),
+                t * 1_000_000,
+            );
+        }
+    }
+    archiver.flush_all();
+    let mut group = c.benchmark_group("history");
+    group.bench_function("object_query", |b| {
+        let mut oid = 0u64;
+        b.iter(|| {
+            oid = (oid + 37) % 2000;
+            black_box(archiver.query_object(oid, 0, u64::MAX))
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("region_query", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 119.0) % 800.0;
+            black_box(archiver.query_region(&Rect::new(x, x, x + 100.0, x + 100.0), 0, u64::MAX, 0.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_history_queries);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Wall-clock micro-benchmarks of the comparator indexes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moist::baselines::{BxConfig, BxTree, DynamicClusterIndex, StaticClusterIndex};
+use moist::bigtable::{Bigtable, CostProfile, Timestamp};
+use moist::spatial::{Point, Space, Velocity};
+
+fn bench_bxtree(c: &mut Criterion) {
+    let store = Bigtable::new();
+    let mut tree = BxTree::new(&store, Space::paper_map(), BxConfig::default(), "bx").unwrap();
+    let mut session = store.session_with(CostProfile::free());
+    let mut state = 0xB0_u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..50_000u64 {
+        tree.update(
+            &mut session,
+            i,
+            &Point::new(rnd() * 1000.0, rnd() * 1000.0),
+            &Velocity::new(rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+    }
+    let mut group = c.benchmark_group("bxtree");
+    group.bench_function("update_50k_objects", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            tree.update(
+                &mut session,
+                i,
+                &Point::new((i % 1000) as f64, (i % 977) as f64),
+                &Velocity::new(0.5, -0.5),
+                Timestamp::from_secs(2),
+            )
+            .unwrap()
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("knn_k10_50k_objects", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 131.0) % 1000.0;
+            black_box(
+                tree.knn(&mut session, Point::new(x, 1000.0 - x), 10, Timestamp::from_secs(2))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_clustering_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_baselines");
+    group.bench_function("static_prototype_update", |b| {
+        let store = Bigtable::new();
+        let protos = StaticClusterIndex::prototype_set(8, &[0.5, 1.0, 1.5, 2.0]);
+        let mut idx = StaticClusterIndex::new(&store, protos, 10.0, "st").unwrap();
+        let mut session = store.session_with(CostProfile::free());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            idx.update(
+                &mut session,
+                t % 1000,
+                &Point::new((t % 997) as f64, 10.0),
+                &Velocity::new(1.0, 0.0),
+                Timestamp::from_secs(t),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("dynamic_center_update", |b| {
+        let store = Bigtable::new();
+        let mut idx = DynamicClusterIndex::new(&store, 50.0, "dy").unwrap();
+        let mut session = store.session_with(CostProfile::free());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            idx.update(
+                &mut session,
+                t % 1000,
+                &Point::new((t % 997) as f64, 10.0),
+                &Velocity::new(1.0, 0.0),
+                Timestamp::from_secs(t),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bxtree, bench_clustering_baselines);
+criterion_main!(benches);

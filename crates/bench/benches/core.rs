@@ -1,0 +1,149 @@
+//! Wall-clock micro-benchmarks of the MOIST core paths: the three update
+//! branches, NN search, clustering and hexagonal binning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moist::bigtable::{Bigtable, Timestamp};
+use moist::core::{
+    HexGrid, MoistConfig, MoistServer, NnOptions, ObjectId, UpdateMessage,
+};
+use moist::spatial::{Point, Velocity};
+
+fn loaded_server(n: u64, epsilon: f64) -> MoistServer {
+    let store = Bigtable::new();
+    let cfg = MoistConfig {
+        epsilon,
+        ..MoistConfig::default()
+    };
+    let mut server = MoistServer::new(&store, cfg).unwrap();
+    let mut state = 0x5EED_u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        server
+            .update(&UpdateMessage {
+                oid: ObjectId(i),
+                loc: Point::new(rnd() * 1000.0, rnd() * 1000.0),
+                vel: Velocity::new(rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0),
+                ts: Timestamp::from_secs(1),
+            })
+            .unwrap();
+    }
+    server
+}
+
+fn bench_update_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.bench_function("leader_update_100k_objects", |b| {
+        let mut server = loaded_server(100_000, 0.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            server
+                .update(&UpdateMessage {
+                    oid: ObjectId(i),
+                    loc: Point::new((i % 1000) as f64, (i % 997) as f64),
+                    vel: Velocity::new(1.0, 0.0),
+                    ts: Timestamp::from_secs(2),
+                })
+                .unwrap()
+        })
+    });
+    group.bench_function("shed_follower_update", |b| {
+        // Build a two-object school; the follower's updates all shed.
+        let mut server = loaded_server(10, 50.0);
+        // Make object 1 a follower of 0 via clustering of co-movers.
+        server
+            .update(&UpdateMessage {
+                oid: ObjectId(0),
+                loc: Point::new(100.0, 100.0),
+                vel: Velocity::new(1.0, 0.0),
+                ts: Timestamp::from_secs(2),
+            })
+            .unwrap();
+        server
+            .update(&UpdateMessage {
+                oid: ObjectId(1),
+                loc: Point::new(101.0, 100.0),
+                vel: Velocity::new(1.0, 0.0),
+                ts: Timestamp::from_secs(2),
+            })
+            .unwrap();
+        server.run_due_clustering(Timestamp::from_secs(60)).unwrap();
+        b.iter(|| {
+            server
+                .update(&UpdateMessage {
+                    oid: ObjectId(1),
+                    loc: Point::new(101.0, 100.0),
+                    vel: Velocity::new(1.0, 0.0),
+                    ts: Timestamp::from_secs(61),
+                })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(30);
+    let mut server = loaded_server(100_000, 0.0);
+    group.bench_function("k10_flag_100k_objects", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 113.0) % 1000.0;
+            black_box(
+                server
+                    .nn(Point::new(x, 1000.0 - x), 10, Timestamp::from_secs(1))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("k10_range50m_level6", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 113.0) % 1000.0;
+            black_box(
+                server
+                    .nn_with_options(
+                        Point::new(x, 1000.0 - x),
+                        Timestamp::from_secs(1),
+                        &NnOptions::within(10, 6, 50.0),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.bench_function("sweep_10k_objects", |b| {
+        let mut server = loaded_server(10_000, 20.0);
+        let mut t = 60u64;
+        b.iter(|| {
+            t += 60;
+            black_box(server.run_due_clustering(Timestamp::from_secs(t)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_hexgrid(c: &mut Criterion) {
+    let grid = HexGrid::new(2.0);
+    c.bench_function("hexgrid/bin", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 0.37) % 4.0;
+            black_box(grid.bin(&Velocity::new(v - 2.0, 2.0 - v)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_update_paths, bench_nn, bench_clustering, bench_hexgrid);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Wall-clock micro-benchmarks of the spatial substrate: curve encoding,
+//! cell algebra and rectangle covering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moist::spatial::{cover_rect, CellId, CurveKind, Point, Rect, Space};
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve");
+    for kind in [CurveKind::Hilbert, CurveKind::Morton] {
+        group.bench_function(format!("{kind:?}/encode_level20"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(2654435761);
+                let x = i >> 12;
+                let y = i.rotate_left(16) >> 12;
+                black_box(kind.index(20, x, y))
+            })
+        });
+        group.bench_function(format!("{kind:?}/decode_level20"), |b| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E3779B97F4A7C15) & ((1u64 << 40) - 1);
+                black_box(kind.coords(20, d))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let space = Space::paper_map();
+    let mut group = c.benchmark_group("cell");
+    group.bench_function("from_point_leaf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 37.77) % 1000.0;
+            black_box(space.leaf_cell(&Point::new(x, 1000.0 - x)))
+        })
+    });
+    group.bench_function("edge_neighbors", |b| {
+        let cell = space.cell_at(10, &Point::new(500.0, 500.0));
+        b.iter(|| black_box(cell.edge_neighbors(CurveKind::Hilbert)))
+    });
+    group.bench_function("descendant_range", |b| {
+        let cell = space.cell_at(6, &Point::new(500.0, 500.0));
+        b.iter(|| black_box(cell.descendant_range(20)))
+    });
+    group.bench_function("ancestor_chain", |b| {
+        let cell = space.leaf_cell(&Point::new(123.0, 456.0));
+        b.iter(|| {
+            let mut c: CellId = cell;
+            while let Some(p) = c.parent() {
+                c = p;
+            }
+            black_box(c)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover_rect");
+    for side in [0.01f64, 0.05, 0.2] {
+        group.bench_function(format!("level8_side_{side}"), |b| {
+            let rect = Rect::new(0.4, 0.4, 0.4 + side, 0.4 + side);
+            b.iter(|| black_box(cover_rect(CurveKind::Hilbert, 8, &rect)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves, bench_cells, bench_cover);
+criterion_main!(benches);

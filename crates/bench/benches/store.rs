@@ -1,0 +1,96 @@
+//! Wall-clock micro-benchmarks of the BigTable-semantics store (raw data
+//! structure speed, independent of the virtual cost model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moist::bigtable::{
+    Bigtable, ColumnFamily, Mutation, ReadOptions, RowKey, RowMutation, ScanRange, TableSchema,
+    Timestamp,
+};
+
+fn setup(rows: u64) -> (std::sync::Arc<Bigtable>, std::sync::Arc<moist::bigtable::Table>) {
+    let store = Bigtable::new();
+    let table = store
+        .create_table(TableSchema::new("t", vec![ColumnFamily::in_memory("f", 1)]).unwrap())
+        .unwrap();
+    for i in 0..rows {
+        table
+            .mutate_row(
+                &RowKey::from_u64(i),
+                &[Mutation::put("f", "q", Timestamp(0), vec![0u8; 40])],
+            )
+            .unwrap();
+    }
+    (store, table)
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let (_store, table) = setup(100_000);
+    let mut group = c.benchmark_group("store");
+    group.bench_function("point_write_100k_rows", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            table
+                .mutate_row(
+                    &RowKey::from_u64(i),
+                    &[Mutation::put("f", "q", Timestamp(1), vec![1u8; 40])],
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("point_read_100k_rows", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(table.get_latest(&RowKey::from_u64(i), "f", "q").unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_batches(c: &mut Criterion) {
+    let (_store, table) = setup(100_000);
+    let mut group = c.benchmark_group("store_batch");
+    group.bench_function("batch_write_256", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + 1) % 1000;
+            let batch: Vec<RowMutation> = (0..256u64)
+                .map(|i| {
+                    RowMutation::new(
+                        RowKey::from_u64(base * 256 + i),
+                        vec![Mutation::put("f", "q", Timestamp(2), vec![2u8; 40])],
+                    )
+                })
+                .collect();
+            table.mutate_rows(&batch).unwrap()
+        })
+    });
+    group.bench_function("scan_256_rows", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + 997) % 99_000;
+            black_box(
+                table
+                    .scan(
+                        &ScanRange::between(RowKey::from_u64(base), RowKey::from_u64(base + 256)),
+                        &ReadOptions::latest(),
+                        None,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("batch_get_64", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + 463) % 99_000;
+            let keys: Vec<RowKey> = (0..64u64).map(|i| RowKey::from_u64(base + i * 13)).collect();
+            black_box(table.batch_get(&keys, &ReadOptions::latest()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_batches);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Figure 13 — update QPS (§4.3.2–4.3.3).
+//!
+//! * `fig13 single`  — (a) single-server update QPS against the number of
+//!   indexed objects (400k → 1M), ε = 0 worst case;
+//! * `fig13 multi5`  — (b) update-QPS timeline with 5 servers sharing one
+//!   store;
+//! * `fig13 multi10` — (c) the same with 10 servers: demand exceeds the
+//!   store's write capacity, so throughput saturates around 60k QPS and
+//!   wobbles, with the excess shown as failed queries (the paper's dashed
+//!   line).
+//!
+//! Per-server throughput comes from real updates charged by the cost model;
+//! only the shared-capacity clip of the aggregate is modelled
+//! (see `moist_bench::capacity_step`).
+
+use moist::bigtable::{Bigtable, CostProfile, Timestamp};
+use moist::core::{
+    LfRecord, LocationRecord, MoistConfig, MoistServer, MoistTables, ObjectId, UpdateMessage,
+};
+use moist::spatial::Rect;
+use moist::workload::{ClientPool, UniformSim};
+use moist_bench::{capacity_step, Figure, Series};
+use std::sync::Arc;
+
+/// Bulk-loads `n` objects directly through the tables (free session), then
+/// returns the store. The measured phase uses the public update path.
+fn bulk_load(n: u64, cfg: &MoistConfig) -> Arc<Bigtable> {
+    let store = Bigtable::new();
+    let tables = MoistTables::create(&store, cfg).expect("tables");
+    let mut s = store.session_with(CostProfile::free());
+    let world = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+    let sim = UniformSim::new(world, n, 2.0, 5.0, 99);
+    let ts = Timestamp::from_secs(1);
+    for (oid, loc, vel) in sim.positions() {
+        let leaf = cfg.space.leaf_cell(&loc).index;
+        let rec = LocationRecord { loc, vel, leaf_index: leaf };
+        tables
+            .put_location(&mut s, ObjectId(oid), &rec, ts)
+            .expect("loc");
+        tables
+            .spatial_insert(&mut s, leaf, ObjectId(oid), &rec, ts)
+            .expect("spatial");
+        tables
+            .set_lf(
+                &mut s,
+                ObjectId(oid),
+                &LfRecord::Leader { since_us: ts.0, last_leaf: leaf },
+                ts,
+            )
+            .expect("lf");
+    }
+    store
+}
+
+/// Measures single-server update QPS at population `n`.
+fn single_qps(n: u64) -> f64 {
+    let cfg = MoistConfig::without_schooling();
+    let store = bulk_load(n, &cfg);
+    let mut server = MoistServer::new(&store, cfg).expect("server");
+    let world = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+    let mut sim = UniformSim::new(world, n, 2.0, 5.0, 7).with_velocity_walk(0.5);
+    let updates = sim.next_updates(50_000);
+    server.session_mut().reset();
+    for u in &updates {
+        server
+            .update(&UpdateMessage {
+                oid: ObjectId(u.oid),
+                loc: u.loc,
+                vel: u.vel,
+                ts: Timestamp::from_secs_f64(1.0 + u.at_secs),
+            })
+            .expect("update");
+    }
+    updates.len() as f64 / (server.elapsed_us() / 1e6)
+}
+
+fn single() {
+    let mut fig = Figure::new(
+        "fig13a",
+        "Single-server update QPS vs #indexed objects (ε = 0)",
+        "objects",
+        "update QPS",
+    );
+    let mut series = Series::new("update QPS");
+    for n in [400_000u64, 600_000, 800_000, 1_000_000] {
+        let qps = single_qps(n);
+        println!("{n:>9} objects: {qps:>8.0} updates/s");
+        series.push(n as f64, qps);
+    }
+    fig.add(series);
+    fig.print();
+    fig.save().expect("save");
+}
+
+/// Multi-server timeline: `servers` OS threads each drive a MoistServer
+/// against one shared store for `horizon_secs` of virtual time; the
+/// aggregate per-second demand is clipped by the store capacity model.
+fn multi(servers: usize, horizon_secs: u64, fig_id: &str) {
+    let population = 1_000_000u64;
+    let cfg = MoistConfig::without_schooling();
+    let store = bulk_load(population, &cfg);
+    println!("loaded {population} objects; driving {servers} servers...");
+    // Each worker returns its per-second completed-update counts.
+    let per_server: Vec<Vec<f64>> = ClientPool::run(servers, |i| {
+        let mut server = MoistServer::new(&store, cfg).expect("server");
+        let world = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut sim = UniformSim::new(world, population, 2.0, 5.0, 1000 + i as u64).with_velocity_walk(0.5);
+        let mut buckets = vec![0.0f64; horizon_secs as usize];
+        'outer: loop {
+            for u in sim.next_updates(2048) {
+                server
+                    .update(&UpdateMessage {
+                        oid: ObjectId(u.oid),
+                        loc: u.loc,
+                        vel: u.vel,
+                        ts: Timestamp::from_secs_f64(1.0 + u.at_secs),
+                    })
+                    .expect("update");
+                let sec = (server.elapsed_us() / 1e6) as usize;
+                if sec >= horizon_secs as usize {
+                    break 'outer;
+                }
+                buckets[sec] += 1.0;
+            }
+        }
+        buckets
+    });
+    let mut fig = Figure::new(
+        fig_id,
+        format!("Update QPS timeline, {servers} servers sharing one store"),
+        "second",
+        "updates/s",
+    );
+    let mut served_series = Series::new("served QPS");
+    let mut failed_series = Series::new("failed QPS (dashed)");
+    let mut total_served = 0.0;
+    for sec in 0..horizon_secs as usize {
+        let demand: f64 = per_server.iter().map(|b| b[sec]).sum();
+        let (served, failed) = capacity_step(demand, sec as u64, servers as u64);
+        served_series.push(sec as f64, served);
+        failed_series.push(sec as f64, failed);
+        total_served += served;
+    }
+    let avg = total_served / horizon_secs as f64;
+    fig.add(served_series);
+    fig.add(failed_series);
+    fig.print();
+    println!("\naverage served QPS over {horizon_secs}s: {avg:.0}");
+    fig.save().expect("save");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "single" => single(),
+        "multi5" => multi(5, 30, "fig13b"),
+        "multi10" => multi(10, 30, "fig13c"),
+        _ => {
+            single();
+            multi(5, 30, "fig13b");
+            multi(10, 30, "fig13c");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The calibrated cost model and the virtual clock.
+//!
+//! Absolute QPS in the paper reflects Google's 2012 production BigTable;
+//! here every operation is charged *virtual microseconds* from a
+//! [`CostProfile`]. The profile encodes the cost **asymmetries** the paper's
+//! conclusions rest on (§3.1, §4.2):
+//!
+//! * batch/range reads are far cheaper per row than point RPCs
+//!   ("this reading method performs much faster");
+//! * reads have "much better concurrency … than write ones", so writes
+//!   are the scarce resource update shedding conserves;
+//! * in-memory columns are orders of magnitude cheaper to read than
+//!   disk columns;
+//! * every RPC pays a fixed network round-trip floor.
+//!
+//! The default constants are chosen so one leader update (an Affiliation
+//! read, a Location write, a two-mutation Spatial-Index batch and an L/F
+//! refresh) lands near the paper's ≈0.127 ms (`8k+ updates/s` on one
+//! server, §4.3.2). Everything else — shedding gains, clustering latencies,
+//! NN QPS — *emerges* from op counts, not from further tuning.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-microsecond costs of store operations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Fixed per-RPC overhead (network RTT + server dispatch), µs.
+    pub rpc_base_us: f64,
+    /// Locating a row in the tablet index, µs per log₂(row-count) level.
+    pub index_level_us: f64,
+    /// Reading one row from an in-memory column, µs.
+    pub read_row_us: f64,
+    /// Applying one mutation, µs.
+    pub mutation_us: f64,
+    /// Per-row cost inside a range scan (sequential memtable walk), µs.
+    pub scan_row_us: f64,
+    /// Per-row cost inside a batch mutation (amortised dispatch), µs.
+    pub batch_row_us: f64,
+    /// Extra cost when a read touches a `Disk`-locality family, µs
+    /// (SSTable block fetch).
+    pub disk_read_us: f64,
+    /// Transfer cost per payload byte, µs.
+    pub byte_us: f64,
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile {
+            rpc_base_us: 15.0,
+            index_level_us: 0.8,
+            read_row_us: 4.0,
+            mutation_us: 6.0,
+            scan_row_us: 2.5,
+            batch_row_us: 0.5,
+            disk_read_us: 900.0,
+            byte_us: 0.002,
+        }
+    }
+}
+
+impl CostProfile {
+    /// A zero-cost profile for unit tests that only care about semantics.
+    pub fn free() -> Self {
+        CostProfile {
+            rpc_base_us: 0.0,
+            index_level_us: 0.0,
+            read_row_us: 0.0,
+            mutation_us: 0.0,
+            scan_row_us: 0.0,
+            batch_row_us: 0.0,
+            disk_read_us: 0.0,
+            byte_us: 0.0,
+        }
+    }
+
+    /// Cost of navigating the row index of a table with `rows` rows.
+    #[inline]
+    pub fn index_nav_us(&self, rows: u64) -> f64 {
+        self.index_level_us * (rows.max(2) as f64).log2()
+    }
+
+    /// Cost of one point read returning `bytes` payload bytes.
+    pub fn point_read_us(&self, rows_in_table: u64, bytes: u64, touches_disk: bool) -> f64 {
+        self.rpc_base_us
+            + self.index_nav_us(rows_in_table)
+            + self.read_row_us
+            + bytes as f64 * self.byte_us
+            + if touches_disk { self.disk_read_us } else { 0.0 }
+    }
+
+    /// Cost of one single-row write with `mutations` mutations.
+    pub fn write_us(&self, rows_in_table: u64, mutations: u64, bytes: u64) -> f64 {
+        self.rpc_base_us
+            + self.index_nav_us(rows_in_table)
+            + mutations as f64 * self.mutation_us
+            + bytes as f64 * self.byte_us
+    }
+
+    /// Cost of one batch write of `rows` rows / `mutations` mutations.
+    ///
+    /// Batched mutations are group-committed log appends — an order of
+    /// magnitude cheaper per mutation than point writes, and cheaper per
+    /// row than batch *reads* (writes return no data). This asymmetry is
+    /// why clustering latency is read-dominated (Figure 10).
+    pub fn batch_write_us(&self, rows: u64, mutations: u64, bytes: u64) -> f64 {
+        self.rpc_base_us
+            + rows as f64 * self.batch_row_us
+            + mutations as f64 * self.mutation_us * 0.125
+            + bytes as f64 * self.byte_us
+    }
+
+    /// Cost of one range scan returning `rows` rows / `bytes` bytes.
+    pub fn scan_us(
+        &self,
+        rows_in_table: u64,
+        rows: u64,
+        bytes: u64,
+        touches_disk: bool,
+    ) -> f64 {
+        self.rpc_base_us
+            + self.index_nav_us(rows_in_table)
+            + rows as f64 * self.scan_row_us
+            + bytes as f64 * self.byte_us
+            + if touches_disk { self.disk_read_us } else { 0.0 }
+    }
+}
+
+/// A per-client virtual clock accumulating modelled time.
+///
+/// Deliberately not shared: each simulated server/client owns one, so
+/// virtual timelines stay deterministic regardless of OS scheduling.
+#[derive(Debug, Default, Clone)]
+pub struct SimClock {
+    us: f64,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in microseconds.
+    #[inline]
+    pub fn now_us(&self) -> f64 {
+        self.us
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.us / 1e6
+    }
+
+    /// Advances by `us` microseconds (negative charges are ignored).
+    #[inline]
+    pub fn charge_us(&mut self, us: f64) {
+        if us > 0.0 {
+            self.us += us;
+        }
+    }
+
+    /// Resets to zero and returns the elapsed microseconds.
+    pub fn reset(&mut self) -> f64 {
+        std::mem::take(&mut self.us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_lands_near_the_papers_update_cost() {
+        // One leader update at 1M rows: Affiliation point read + Location
+        // 1-mutation write + Spatial 2-row batch (delete+put) + Affiliation
+        // L/F refresh write (the leaf-tracking write of Algorithm 1).
+        let p = CostProfile::default();
+        let rows = 1_000_000;
+        let us = p.point_read_us(rows, 24, false)
+            + p.write_us(rows, 1, 40)
+            + p.batch_write_us(2, 2, 40)
+            + p.write_us(rows, 1, 33);
+        // The paper reports "less than 0.2 ms" amortised per update and
+        // 7,875 QPS at 1M objects — i.e. ~0.127 ms.
+        assert!(us > 100.0 && us < 200.0, "update cost {us} µs off-calibration");
+        let qps = 1e6 / us;
+        assert!(qps > 5_000.0 && qps < 10_000.0, "QPS {qps} off-calibration");
+    }
+
+    #[test]
+    fn batch_rows_are_cheaper_than_point_ops() {
+        let p = CostProfile::default();
+        let point = 100.0 * p.write_us(1_000_000, 1, 20);
+        let batch = p.batch_write_us(100, 100, 2000);
+        assert!(
+            batch < point / 4.0,
+            "batching must be far cheaper: {batch} vs {point}"
+        );
+        let scan = p.scan_us(1_000_000, 100, 2000, false);
+        let point_reads = 100.0 * p.point_read_us(1_000_000, 20, false);
+        assert!(scan < point_reads / 4.0);
+    }
+
+    #[test]
+    fn disk_reads_are_much_more_expensive() {
+        let p = CostProfile::default();
+        let mem = p.point_read_us(1000, 20, false);
+        let disk = p.point_read_us(1000, 20, true);
+        assert!(disk > 10.0 * mem);
+    }
+
+    #[test]
+    fn index_cost_grows_with_table_size() {
+        let p = CostProfile::default();
+        assert!(p.point_read_us(1 << 20, 0, false) > p.point_read_us(1 << 10, 0, false));
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut c = SimClock::new();
+        c.charge_us(10.0);
+        c.charge_us(-5.0); // ignored
+        c.charge_us(2.5);
+        assert!((c.now_us() - 12.5).abs() < 1e-12);
+        assert!((c.now_secs() - 12.5e-6).abs() < 1e-15);
+        assert!((c.reset() - 12.5).abs() < 1e-12);
+        assert_eq!(c.now_us(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for store operations.
+
+use std::fmt;
+
+/// Errors returned by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BigtableError {
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The named column family is not declared in the table schema.
+    UnknownFamily {
+        /// Table the lookup was made against.
+        table: String,
+        /// The family name that was not found.
+        family: String,
+    },
+    /// A schema was declared with no column families or duplicate names.
+    InvalidSchema(String),
+    /// A scan or mutation referenced an invalid key range (start > end).
+    InvalidRange,
+}
+
+impl fmt::Display for BigtableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BigtableError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            BigtableError::TableExists(t) => write!(f, "table already exists: {t}"),
+            BigtableError::UnknownFamily { table, family } => {
+                write!(f, "unknown column family {family:?} in table {table:?}")
+            }
+            BigtableError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            BigtableError::InvalidRange => write!(f, "invalid key range: start > end"),
+        }
+    }
+}
+
+impl std::error::Error for BigtableError {}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, BigtableError>;

@@ -1,0 +1,175 @@
+//! The store: a namespace of tables plus global configuration.
+
+use crate::cost::CostProfile;
+use crate::error::{BigtableError, Result};
+use crate::metrics::MetricsSnapshot;
+use crate::schema::TableSchema;
+use crate::session::Session;
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Store-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Tablets split above this many rows (BigTable's automatic sharding).
+    pub max_rows_per_tablet: usize,
+    /// Cost profile handed to new sessions.
+    pub cost_profile: CostProfile,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_rows_per_tablet: 65_536,
+            cost_profile: CostProfile::default(),
+        }
+    }
+}
+
+/// An in-process store with BigTable semantics.
+///
+/// Cloneable via `Arc`; multiple front-end servers share one store exactly
+/// like the paper's multi-server deployment shares one BigTable (§4.3.3).
+pub struct Bigtable {
+    config: StoreConfig,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Bigtable {
+    /// Creates an empty store with the default configuration.
+    pub fn new() -> Arc<Self> {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store.
+    pub fn with_config(config: StoreConfig) -> Arc<Self> {
+        Arc::new(Bigtable {
+            config,
+            tables: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Creates a table from a schema. Fails if the name is taken.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(BigtableError::TableExists(schema.name));
+        }
+        let name = schema.name.clone();
+        let table = Arc::new(Table::new(schema, self.config.max_rows_per_tablet));
+        tables.insert(name, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Opens an existing table.
+    pub fn open_table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BigtableError::UnknownTable(name.to_string()))
+    }
+
+    /// Drops a table. Outstanding `Arc<Table>` handles keep working but the
+    /// name becomes free.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| BigtableError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Sum of all tables' metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let tables = self.tables.read();
+        let mut total = MetricsSnapshot::default();
+        for t in tables.values() {
+            let s = t.metrics().snapshot();
+            total.read_ops += s.read_ops;
+            total.rows_read += s.rows_read;
+            total.bytes_read += s.bytes_read;
+            total.write_ops += s.write_ops;
+            total.mutations += s.mutations;
+            total.bytes_written += s.bytes_written;
+            total.scan_ops += s.scan_ops;
+            total.rows_scanned += s.rows_scanned;
+            total.batch_ops += s.batch_ops;
+        }
+        total
+    }
+
+    /// Opens a cost-charged session using the store's default profile.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self), self.config.cost_profile)
+    }
+
+    /// Opens a session with an explicit profile (e.g. [`CostProfile::free`]
+    /// in tests).
+    pub fn session_with(self: &Arc<Self>, profile: CostProfile) -> Session {
+        Session::new(Arc::clone(self), profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnFamily;
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(name, vec![ColumnFamily::in_memory("f", 1)]).unwrap()
+    }
+
+    #[test]
+    fn create_open_drop() {
+        let store = Bigtable::new();
+        store.create_table(schema("a")).unwrap();
+        store.create_table(schema("b")).unwrap();
+        assert_eq!(store.table_names(), vec!["a", "b"]);
+        assert!(matches!(
+            store.create_table(schema("a")),
+            Err(BigtableError::TableExists(_))
+        ));
+        assert!(store.open_table("a").is_ok());
+        store.drop_table("a").unwrap();
+        assert!(matches!(
+            store.open_table("a"),
+            Err(BigtableError::UnknownTable(_))
+        ));
+        assert!(store.drop_table("a").is_err());
+    }
+
+    #[test]
+    fn metrics_aggregate_across_tables() {
+        let store = Bigtable::new();
+        let a = store.create_table(schema("a")).unwrap();
+        let b = store.create_table(schema("b")).unwrap();
+        use crate::table::Mutation;
+        use crate::types::{RowKey, Timestamp};
+        a.mutate_row(
+            &RowKey::from_u64(1),
+            &[Mutation::put("f", "q", Timestamp(0), &b"x"[..])],
+        )
+        .unwrap();
+        b.mutate_row(
+            &RowKey::from_u64(1),
+            &[Mutation::put("f", "q", Timestamp(0), &b"y"[..])],
+        )
+        .unwrap();
+        assert_eq!(store.metrics_snapshot().write_ops, 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Tablets: contiguous key-range shards of a table.
+//!
+//! Real BigTable splits a table into tablets by key range and serves them
+//! from different tablet servers; contention and parallelism happen at
+//! tablet granularity. We reproduce that: each tablet is an independently
+//! locked sorted map, tablets split automatically when they grow past a
+//! threshold, and range scans stream tablet by tablet in key order.
+
+use crate::types::{Cell, RowKey, Timestamp};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-row storage: one versions-map per declared column family.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RowStorage {
+    /// Indexed by family index in the table schema. Each column holds its
+    /// versions newest-first.
+    pub families: Vec<BTreeMap<String, Vec<Cell>>>,
+}
+
+impl RowStorage {
+    pub(crate) fn with_families(n: usize) -> Self {
+        RowStorage {
+            families: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Inserts a cell version, keeping newest-first order and truncating to
+    /// `max_versions` (BigTable's per-family GC policy).
+    pub(crate) fn put(
+        &mut self,
+        family_idx: usize,
+        qualifier: &str,
+        ts: Timestamp,
+        value: bytes::Bytes,
+        max_versions: usize,
+    ) {
+        let col = self.families[family_idx]
+            .entry(qualifier.to_string())
+            .or_default();
+        // Common case: strictly newer than the head — push front cheaply.
+        let pos = col.partition_point(|c| c.ts > ts);
+        if pos < col.len() && col[pos].ts == ts {
+            col[pos].value = value; // same-timestamp write replaces
+        } else {
+            col.insert(pos, Cell { ts, value });
+        }
+        col.truncate(max_versions);
+    }
+
+    /// Removes a whole column. Returns whether it existed.
+    pub(crate) fn delete_column(&mut self, family_idx: usize, qualifier: &str) -> bool {
+        self.families[family_idx].remove(qualifier).is_some()
+    }
+
+    /// Clears a family.
+    pub(crate) fn delete_family(&mut self, family_idx: usize) {
+        self.families[family_idx].clear();
+    }
+
+    /// Whether the row stores no cells at all (eligible for removal).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.families.iter().all(|f| f.is_empty())
+    }
+
+    /// Total stored cells across families (for metrics/size heuristics).
+    pub(crate) fn cell_count(&self) -> usize {
+        self.families
+            .iter()
+            .map(|f| f.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// One tablet: an independently locked contiguous shard.
+#[derive(Debug)]
+pub(crate) struct Tablet {
+    pub rows: RwLock<BTreeMap<RowKey, RowStorage>>,
+}
+
+impl Tablet {
+    fn new() -> Self {
+        Tablet {
+            rows: RwLock::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// The set of tablets of one table, with their start keys.
+///
+/// `starts\[0\]` is always `RowKey::MIN`; tablet `i` covers
+/// `[starts[i], starts[i+1])`.
+pub(crate) struct TabletSet {
+    inner: RwLock<Vec<(RowKey, Arc<Tablet>)>>,
+    /// A tablet splits once it holds more rows than this.
+    pub max_rows_per_tablet: usize,
+}
+
+impl TabletSet {
+    pub(crate) fn new(max_rows_per_tablet: usize) -> Self {
+        TabletSet {
+            inner: RwLock::new(vec![(RowKey::MIN, Arc::new(Tablet::new()))]),
+            max_rows_per_tablet: max_rows_per_tablet.max(16),
+        }
+    }
+
+    /// The tablet responsible for `key`.
+    pub(crate) fn route(&self, key: &RowKey) -> Arc<Tablet> {
+        let tablets = self.inner.read();
+        let idx = match tablets.binary_search_by(|(start, _)| start.cmp(key)) {
+            Ok(i) => i,
+            Err(0) => 0, // cannot happen: starts[0] == MIN <= every key
+            Err(i) => i - 1,
+        };
+        Arc::clone(&tablets[idx].1)
+    }
+
+    /// Tablets overlapping `[start, end)` in key order, with their start keys.
+    pub(crate) fn route_range(
+        &self,
+        start: &RowKey,
+        end: Option<&RowKey>,
+    ) -> Vec<(RowKey, Arc<Tablet>)> {
+        let tablets = self.inner.read();
+        let first = match tablets.binary_search_by(|(s, _)| s.cmp(start)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        tablets[first..]
+            .iter()
+            .take_while(|(s, _)| match end {
+                Some(e) => s < e || s == start,
+                None => true,
+            })
+            .map(|(s, t)| (s.clone(), Arc::clone(t)))
+            .collect()
+    }
+
+    /// Number of tablets currently serving the table.
+    pub(crate) fn tablet_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Total rows across all tablets (approximate under concurrency).
+    pub(crate) fn row_count(&self) -> usize {
+        let tablets = self.inner.read();
+        tablets.iter().map(|(_, t)| t.rows.read().len()).sum()
+    }
+
+    /// Splits any oversized tablet at its median key. Called after writes;
+    /// cheap when nothing needs splitting (one read lock + size checks).
+    pub(crate) fn maybe_split(&self) {
+        // Fast path: check sizes under the read lock.
+        let needs_split = {
+            let tablets = self.inner.read();
+            tablets
+                .iter()
+                .any(|(_, t)| t.rows.read().len() > self.max_rows_per_tablet)
+        };
+        if !needs_split {
+            return;
+        }
+        let mut tablets = self.inner.write();
+        let mut i = 0;
+        while i < tablets.len() {
+            let oversized = tablets[i].1.rows.read().len() > self.max_rows_per_tablet;
+            if oversized {
+                let mut rows = tablets[i].1.rows.write();
+                let mid = rows.len() / 2;
+                if let Some(split_key) = rows.keys().nth(mid).cloned() {
+                    let upper = rows.split_off(&split_key);
+                    drop(rows);
+                    let new_tablet = Arc::new(Tablet::new());
+                    *new_tablet.rows.write() = upper;
+                    tablets.insert(i + 1, (split_key, new_tablet));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn cellv(s: &str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn row_storage_orders_versions_newest_first() {
+        let mut r = RowStorage::with_families(1);
+        r.put(0, "q", Timestamp(10), cellv("a"), 10);
+        r.put(0, "q", Timestamp(30), cellv("c"), 10);
+        r.put(0, "q", Timestamp(20), cellv("b"), 10);
+        let versions = &r.families[0]["q"];
+        let ts: Vec<u64> = versions.iter().map(|c| c.ts.0).collect();
+        assert_eq!(ts, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn row_storage_same_ts_replaces() {
+        let mut r = RowStorage::with_families(1);
+        r.put(0, "q", Timestamp(10), cellv("a"), 10);
+        r.put(0, "q", Timestamp(10), cellv("b"), 10);
+        let versions = &r.families[0]["q"];
+        assert_eq!(versions.len(), 1);
+        assert_eq!(&versions[0].value[..], b"b");
+    }
+
+    #[test]
+    fn row_storage_gc_truncates_old_versions() {
+        let mut r = RowStorage::with_families(1);
+        for t in 0..10u64 {
+            r.put(0, "q", Timestamp(t), cellv("x"), 3);
+        }
+        let versions = &r.families[0]["q"];
+        let ts: Vec<u64> = versions.iter().map(|c| c.ts.0).collect();
+        assert_eq!(ts, vec![9, 8, 7]);
+        assert_eq!(r.cell_count(), 3);
+    }
+
+    #[test]
+    fn route_finds_the_covering_tablet() {
+        let set = TabletSet::new(16);
+        // Fill enough rows to force splits.
+        for i in 0..200u64 {
+            let t = set.route(&RowKey::from_u64(i));
+            t.rows
+                .write()
+                .insert(RowKey::from_u64(i), RowStorage::with_families(1));
+            set.maybe_split();
+        }
+        assert!(set.tablet_count() > 1, "expected splits");
+        assert_eq!(set.row_count(), 200);
+        // Every key routes to a tablet that actually holds it.
+        for i in 0..200u64 {
+            let key = RowKey::from_u64(i);
+            let t = set.route(&key);
+            assert!(t.rows.read().contains_key(&key), "key {i} misrouted");
+        }
+    }
+
+    #[test]
+    fn route_range_covers_all_overlapping_tablets() {
+        let set = TabletSet::new(16);
+        for i in 0..300u64 {
+            let t = set.route(&RowKey::from_u64(i));
+            t.rows
+                .write()
+                .insert(RowKey::from_u64(i), RowStorage::with_families(1));
+            set.maybe_split();
+        }
+        let start = RowKey::from_u64(50);
+        let end = RowKey::from_u64(250);
+        let tablets = set.route_range(&start, Some(&end));
+        let total: usize = tablets
+            .iter()
+            .map(|(_, t)| {
+                t.rows
+                    .read()
+                    .range(start.clone()..end.clone())
+                    .count()
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,241 @@
+//! Fundamental value types: row keys, timestamps, cells.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row key: an arbitrary byte string; rows are stored in lexicographic
+/// key order, which is what makes contiguous-range batch reads fast (§3.1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RowKey(pub Vec<u8>);
+
+impl RowKey {
+    /// Empty key — the smallest possible key, used as a range start.
+    pub const MIN: RowKey = RowKey(Vec::new());
+
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        RowKey(bytes.into())
+    }
+
+    /// Builds a key from a `u64` in big-endian order so that numeric order
+    /// equals byte order. This is how spatial indexes and object ids become
+    /// scan-friendly keys.
+    pub fn from_u64(v: u64) -> Self {
+        RowKey(v.to_be_bytes().to_vec())
+    }
+
+    /// Reads back a key created by [`RowKey::from_u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_slice().try_into().ok()?;
+        Some(u64::from_be_bytes(arr))
+    }
+
+    /// Builds a composite key `prefix ∥ u64` (e.g. `cell-index ∥ object-id`
+    /// rows in the Spatial Index Table).
+    pub fn composite(prefix: u64, suffix: u64) -> Self {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&prefix.to_be_bytes());
+        v.extend_from_slice(&suffix.to_be_bytes());
+        RowKey(v)
+    }
+
+    /// Splits a composite key back into `(prefix, suffix)`.
+    pub fn split_composite(&self) -> Option<(u64, u64)> {
+        if self.0.len() != 16 {
+            return None;
+        }
+        let p = u64::from_be_bytes(self.0[..8].try_into().ok()?);
+        let s = u64::from_be_bytes(self.0[8..].try_into().ok()?);
+        Some((p, s))
+    }
+
+    /// Key length in bytes (used for transfer-cost accounting).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The smallest key strictly greater than every key with this prefix:
+    /// the standard "prefix successor" used to turn a prefix into a range.
+    /// Returns `None` when the key is all `0xFF` (no successor exists).
+    pub fn prefix_successor(&self) -> Option<RowKey> {
+        let mut v = self.0.clone();
+        while let Some(last) = v.last_mut() {
+            if *last < 0xFF {
+                *last += 1;
+                return Some(RowKey(v));
+            }
+            v.pop();
+        }
+        None
+    }
+}
+
+impl fmt::Debug for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.as_u64() {
+            write!(f, "RowKey(u64:{v})")
+        } else if let Some((p, s)) = self.split_composite() {
+            write!(f, "RowKey({p}∥{s})")
+        } else {
+            write!(f, "RowKey({:02x?})", self.0)
+        }
+    }
+}
+
+impl From<u64> for RowKey {
+    fn from(v: u64) -> Self {
+        RowKey::from_u64(v)
+    }
+}
+
+impl From<&str> for RowKey {
+    fn from(s: &str) -> Self {
+        RowKey(s.as_bytes().to_vec())
+    }
+}
+
+/// Microseconds since the start of the simulation. Every stored cell is
+/// timestamped (§3.1.2: "Each location record is timestamped").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Simulation epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// From floating-point seconds (sub-microsecond truncated).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Timestamp((s.max(0.0) * 1e6) as u64)
+    }
+
+    /// As floating-point seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference in seconds (`self - earlier`).
+    pub fn secs_since(&self, earlier: Timestamp) -> f64 {
+        (self.0.saturating_sub(earlier.0)) as f64 / 1e6
+    }
+
+    /// Timestamp advanced by `s` seconds.
+    pub fn plus_secs(&self, s: f64) -> Timestamp {
+        Timestamp(self.0 + (s.max(0.0) * 1e6) as u64)
+    }
+}
+
+/// One timestamped value of a column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// When the value was written.
+    pub ts: Timestamp,
+    /// The stored bytes.
+    #[serde(with = "serde_bytes_compat")]
+    pub value: Bytes,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(ts: Timestamp, value: impl Into<Bytes>) -> Self {
+        Cell {
+            ts,
+            value: value.into(),
+        }
+    }
+}
+
+/// Where a column family's data lives — the paper's "in-memory column" vs
+/// "disk column" distinction (§3.1, Figure 2/3). Reads from `Disk` families
+/// are charged a much larger cost by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Served from the tablet server's memory.
+    InMemory,
+    /// Served from SSTables on disk.
+    Disk,
+}
+
+mod serde_bytes_compat {
+    //! `Bytes` does not implement serde by default without a feature; route
+    //! through `Vec<u8>` which is fine at config/record-dump volumes.
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_keys_sort_numerically() {
+        let keys: Vec<RowKey> = [1u64, 255, 256, 65535, 1 << 40]
+            .iter()
+            .map(|&v| RowKey::from_u64(v))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys[4].as_u64(), Some(1 << 40));
+    }
+
+    #[test]
+    fn composite_keys_sort_prefix_major() {
+        let a = RowKey::composite(5, u64::MAX);
+        let b = RowKey::composite(6, 0);
+        assert!(a < b);
+        assert_eq!(a.split_composite(), Some((5, u64::MAX)));
+    }
+
+    #[test]
+    fn prefix_successor_is_tight() {
+        let k = RowKey::from_bytes(vec![1, 2, 3]);
+        let succ = k.prefix_successor().unwrap();
+        assert_eq!(succ.0, vec![1, 2, 4]);
+        // Every key with the prefix sorts below the successor.
+        let extended = RowKey::from_bytes(vec![1, 2, 3, 255, 255]);
+        assert!(extended < succ);
+        // Rolls over trailing 0xFF bytes.
+        let k2 = RowKey::from_bytes(vec![7, 255, 255]);
+        assert_eq!(k2.prefix_successor().unwrap().0, vec![8]);
+        // All-0xFF has no successor.
+        assert!(RowKey::from_bytes(vec![255, 255]).prefix_successor().is_none());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t.plus_secs(2.5), Timestamp(12_500_000));
+        assert_eq!(t.plus_secs(2.5).secs_since(t), 2.5);
+        assert_eq!(Timestamp::ZERO.secs_since(t), 0.0); // saturating
+        assert!((Timestamp::from_secs_f64(1.25).as_secs_f64() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn as_u64_rejects_wrong_length() {
+        assert_eq!(RowKey::from_bytes(vec![1, 2]).as_u64(), None);
+        assert_eq!(RowKey::composite(1, 2).as_u64(), None);
+        assert_eq!(RowKey::from_u64(9).split_composite(), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Model-based property test: the store must behave exactly like a simple
+//! in-memory reference model under arbitrary interleavings of puts, deletes
+//! and scans.
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Mutation, ReadOptions, RowKey, ScanRange, TableSchema, Timestamp,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u64, qual: u8, ts: u64, val: u8 },
+    DeleteColumn { key: u64, qual: u8 },
+    DeleteRow { key: u64 },
+    Get { key: u64 },
+    Scan { start: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..64, 0u8..4, 0u64..100, any::<u8>())
+            .prop_map(|(key, qual, ts, val)| Op::Put { key, qual, ts, val }),
+        1 => (0u64..64, 0u8..4).prop_map(|(key, qual)| Op::DeleteColumn { key, qual }),
+        1 => (0u64..64).prop_map(|key| Op::DeleteRow { key }),
+        2 => (0u64..64).prop_map(|key| Op::Get { key }),
+        2 => (0u64..64, 0u64..32).prop_map(|(start, len)| Op::Scan { start, len }),
+    ]
+}
+
+/// Reference model: key -> qualifier -> (latest_ts, latest_val).
+/// max_versions = 1 in this test so "latest wins" is the whole contract.
+type Model = BTreeMap<u64, BTreeMap<u8, (u64, u8)>>;
+
+fn model_put(model: &mut Model, key: u64, qual: u8, ts: u64, val: u8) {
+    let col = model.entry(key).or_default();
+    match col.get(&qual) {
+        Some(&(old_ts, _)) if old_ts > ts => {} // older write is ignored at max_versions=1
+        _ => {
+            col.insert(qual, (ts, val));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn store_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let store = Bigtable::new();
+        let table = store
+            .create_table(
+                TableSchema::new("t", vec![ColumnFamily::in_memory("f", 1)]).unwrap(),
+            )
+            .unwrap();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { key, qual, ts, val } => {
+                    table
+                        .mutate_row(
+                            &RowKey::from_u64(key),
+                            &[Mutation::put("f", qual.to_string(), Timestamp(ts), vec![val])],
+                        )
+                        .unwrap();
+                    model_put(&mut model, key, qual, ts, val);
+                }
+                Op::DeleteColumn { key, qual } => {
+                    table
+                        .mutate_row(
+                            &RowKey::from_u64(key),
+                            &[Mutation::delete_column("f", qual.to_string())],
+                        )
+                        .unwrap();
+                    if let Some(cols) = model.get_mut(&key) {
+                        cols.remove(&qual);
+                        if cols.is_empty() {
+                            model.remove(&key);
+                        }
+                    }
+                }
+                Op::DeleteRow { key } => {
+                    table
+                        .mutate_row(&RowKey::from_u64(key), &[Mutation::DeleteRow])
+                        .unwrap();
+                    model.remove(&key);
+                }
+                Op::Get { key } => {
+                    let got = table
+                        .get_row(&RowKey::from_u64(key), &ReadOptions::latest())
+                        .unwrap();
+                    match model.get(&key) {
+                        None => prop_assert!(got.is_none(), "row {key} should be absent"),
+                        Some(cols) => {
+                            let row = got.expect("row should exist");
+                            prop_assert_eq!(row.entries.len(), cols.len());
+                            for (qual, &(ts, val)) in cols {
+                                let cell = row
+                                    .latest("f", &qual.to_string())
+                                    .expect("column should exist");
+                                prop_assert_eq!(cell.ts, Timestamp(ts));
+                                prop_assert_eq!(cell.value.as_ref(), &[val]);
+                            }
+                        }
+                    }
+                }
+                Op::Scan { start, len } => {
+                    let rows = table
+                        .scan(
+                            &ScanRange::between(
+                                RowKey::from_u64(start),
+                                RowKey::from_u64(start + len),
+                            ),
+                            &ReadOptions::latest(),
+                            None,
+                        )
+                        .unwrap();
+                    let expected: Vec<u64> =
+                        model.range(start..start + len).map(|(k, _)| *k).collect();
+                    let got: Vec<u64> =
+                        rows.iter().map(|r| r.key.as_u64().unwrap()).collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            // Row-count estimate stays consistent with the model.
+            prop_assert_eq!(table.approx_row_count() as usize, model.len());
+        }
+        prop_assert_eq!(table.row_count(), model.len());
+    }
+}

@@ -1,0 +1,468 @@
+//! Periodic lazy clustering (§3.3.2).
+//!
+//! Clustering runs cell by cell over *clustering cells* — cells several
+//! levels coarser than the spatial leaf level, so each one is a contiguous
+//! row range batch-read from the Spatial Index Table. Within a cell:
+//!
+//! 1. **read** — batch-scan the cell's leaders and batch-get their Follower
+//!    Info from the Affiliation Table;
+//! 2. **compute** — map each leader's velocity to a hexagonal bin (`O(1)`
+//!    each, `O(n)` total) and merge the leaders sharing a bin;
+//! 3. **write** — apply the merge as batched mutations: transfer Follower
+//!    Info, rewrite L/F entries of moved followers, delete merged leaders
+//!    from the Spatial Index Table.
+//!
+//! The per-phase virtual latencies are reported so Figure 10's
+//! read/compute/write breakdown can be regenerated.
+
+use crate::codec::LfRecord;
+use crate::config::MoistConfig;
+use crate::error::Result;
+use crate::hexgrid::{HexBin, HexGrid};
+use crate::ids::ObjectId;
+use crate::tables::{MoistTables, SpatialEntry};
+use moist_bigtable::{RowMutation, Session, Timestamp};
+use moist_spatial::{cells_at_level, CellId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Outcome and phase timing of clustering one cell.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Leaders present before clustering.
+    pub pre_leaders: usize,
+    /// Leaders remaining after clustering.
+    pub post_leaders: usize,
+    /// Leaders merged into other schools.
+    pub merged: usize,
+    /// Followers whose affiliation was rewritten.
+    pub followers_moved: usize,
+    /// Virtual µs spent reading (Spatial Index + Affiliation batch reads).
+    pub read_us: f64,
+    /// Virtual µs spent on the in-server computation.
+    pub compute_us: f64,
+    /// Virtual µs spent writing the merge batches.
+    pub write_us: f64,
+}
+
+impl ClusterReport {
+    /// Total virtual latency of this clustering.
+    pub fn total_us(&self) -> f64 {
+        self.read_us + self.compute_us + self.write_us
+    }
+
+    /// Accumulates another report (for whole-map sweeps).
+    pub fn merge_from(&mut self, other: &ClusterReport) {
+        self.pre_leaders += other.pre_leaders;
+        self.post_leaders += other.post_leaders;
+        self.merged += other.merged;
+        self.followers_moved += other.followers_moved;
+        self.read_us += other.read_us;
+        self.compute_us += other.compute_us;
+        self.write_us += other.write_us;
+    }
+}
+
+/// Clusters one clustering cell: merges leaders with similar velocities.
+///
+/// `now` stamps the rewritten records. Geographic proximity is inherent:
+/// only leaders inside the same clustering cell are candidates (§3.3.2).
+pub fn cluster_cell(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    cell: CellId,
+    now: Timestamp,
+) -> Result<ClusterReport> {
+    let mut report = ClusterReport::default();
+
+    // ---- read phase ----
+    let t0 = s.elapsed_us();
+    let leaders: Vec<SpatialEntry> =
+        tables.spatial_scan_cell(s, cell, cfg.space.leaf_level, None)?;
+    report.pre_leaders = leaders.len();
+    if leaders.len() < 2 {
+        report.post_leaders = leaders.len();
+        report.read_us = s.elapsed_us() - t0;
+        return Ok(report);
+    }
+    let leader_ids: Vec<ObjectId> = leaders.iter().map(|e| e.oid).collect();
+    let follower_infos = tables.batch_followers(s, &leader_ids)?;
+    report.read_us = s.elapsed_us() - t0;
+
+    // ---- compute phase (wall-measured, charged to the virtual clock) ----
+    let wall0 = std::time::Instant::now();
+    let grid = HexGrid::new(cfg.delta_m);
+    let mut bins: HashMap<HexBin, Vec<usize>> = HashMap::new();
+    for (i, entry) in leaders.iter().enumerate() {
+        bins.entry(grid.bin(&entry.record.vel)).or_default().push(i);
+    }
+    // Within each bin, the leader with the most followers survives — it is
+    // the cheapest merge (fewest L/F rewrites).
+    struct Merge {
+        survivor: usize,
+        absorbed: Vec<usize>,
+    }
+    let merges: Vec<Merge> = bins
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .map(|mut members| {
+            members.sort_by_key(|&i| {
+                (std::cmp::Reverse(follower_infos[i].len()), leaders[i].oid.0)
+            });
+            let survivor = members[0];
+            Merge {
+                survivor,
+                absorbed: members[1..].to_vec(),
+            }
+        })
+        .collect();
+    let compute_wall_us = wall0.elapsed().as_secs_f64() * 1e6;
+    s.charge_extra_us(compute_wall_us);
+    report.compute_us = compute_wall_us;
+
+    // ---- write phase ----
+    let t1 = s.elapsed_us();
+    let mut affiliation_batch: Vec<RowMutation> = Vec::new();
+    let mut spatial_batch: Vec<RowMutation> = Vec::new();
+    let mut merged_count = 0usize;
+    let mut followers_moved = 0usize;
+    // Leaders' stored records carry different timestamps (each wrote at its
+    // own last update); advance both to `now` under linear motion before
+    // differencing, or displacements absorb up to v·Δt of skew.
+    let pos_now = |e: &SpatialEntry| e.record.loc.advance(e.record.vel, now.secs_since(e.ts));
+    for m in &merges {
+        let survivor = &leaders[m.survivor];
+        for &j in &m.absorbed {
+            let absorbed = &leaders[j];
+            // Displacement from the survivor to the absorbed leader at `now`.
+            let lead_disp = pos_now(survivor).displacement_to(&pos_now(absorbed));
+            // (ii) every follower of j re-affiliates to the survivor; its
+            // displacement composes: survivor → j → follower.
+            for &(f, d) in &follower_infos[j] {
+                let nd = moist_spatial::Displacement::new(lead_disp.dx + d.dx, lead_disp.dy + d.dy);
+                affiliation_batch.push(MoistTables::lf_mutation(
+                    f,
+                    &LfRecord::Follower {
+                        leader: survivor.oid,
+                        displacement: nd,
+                        since_us: now.0,
+                    },
+                    now,
+                ));
+                affiliation_batch.push(MoistTables::add_follower_mutation(
+                    survivor.oid,
+                    f,
+                    nd,
+                    now,
+                ));
+                followers_moved += 1;
+            }
+            // (i) j's Follower Info is cleared and j itself becomes a
+            // follower of the survivor.
+            affiliation_batch.push(MoistTables::clear_followers_mutation(absorbed.oid));
+            affiliation_batch.push(MoistTables::lf_mutation(
+                absorbed.oid,
+                &LfRecord::Follower {
+                    leader: survivor.oid,
+                    displacement: lead_disp,
+                    since_us: now.0,
+                },
+                now,
+            ));
+            affiliation_batch.push(MoistTables::add_follower_mutation(
+                survivor.oid,
+                absorbed.oid,
+                lead_disp,
+                now,
+            ));
+            // (iii) delete j from the Spatial Index Table.
+            spatial_batch.push(MoistTables::spatial_delete_mutation(
+                absorbed.leaf_index,
+                absorbed.oid,
+            ));
+            merged_count += 1;
+        }
+    }
+    tables.affiliation_batch(s, &coalesce_rows(affiliation_batch))?;
+    tables.spatial_batch(s, &spatial_batch)?;
+    report.write_us = s.elapsed_us() - t1;
+    report.merged = merged_count;
+    report.followers_moved = followers_moved;
+    report.post_leaders = report.pre_leaders - merged_count;
+    Ok(report)
+}
+
+/// Merges the mutations targeting the same row into one [`RowMutation`]
+/// (preserving per-row mutation order), the way a batching client library
+/// groups its commit: row-level atomicity is unchanged, the batch just
+/// carries fewer row headers.
+fn coalesce_rows(batch: Vec<RowMutation>) -> Vec<RowMutation> {
+    let mut order: Vec<moist_bigtable::RowKey> = Vec::new();
+    let mut by_row: HashMap<moist_bigtable::RowKey, Vec<moist_bigtable::Mutation>> =
+        HashMap::new();
+    for rm in batch {
+        match by_row.entry(rm.key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().extend(rm.mutations);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(rm.key.clone());
+                e.insert(rm.mutations);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let mutations = by_row.remove(&key).expect("tracked key");
+            RowMutation { key, mutations }
+        })
+        .collect()
+}
+
+/// Clusters every clustering cell of the map once, sequentially ("at any
+/// given time only a small number of clustering cells are being processed",
+/// §3.3.2). Returns the aggregated report.
+pub fn cluster_sweep(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    now: Timestamp,
+) -> Result<ClusterReport> {
+    let mut total = ClusterReport::default();
+    for index in 0..cells_at_level(cfg.clustering_level) {
+        let cell = CellId {
+            level: cfg.clustering_level,
+            index,
+        };
+        let r = cluster_cell(s, tables, cfg, cell, now)?;
+        total.merge_from(&r);
+    }
+    Ok(total)
+}
+
+/// Tracks per-cell clustering deadlines so servers can run lazy clustering
+/// on the configured interval `T_c`.
+#[derive(Debug)]
+pub struct ClusterScheduler {
+    interval: f64,
+    level: u8,
+    next_due_secs: Vec<f64>,
+}
+
+impl ClusterScheduler {
+    /// Creates a scheduler for `cfg`'s clustering level and interval.
+    pub fn new(cfg: &MoistConfig) -> Self {
+        let n = cells_at_level(cfg.clustering_level) as usize;
+        ClusterScheduler {
+            interval: cfg.cluster_interval_secs,
+            level: cfg.clustering_level,
+            // Stagger first deadlines so cells do not all fire at once
+            // (the paper clusters cells sequentially for the same reason).
+            next_due_secs: (0..n)
+                .map(|i| cfg.cluster_interval_secs * (1.0 + i as f64 / n.max(1) as f64))
+                .collect(),
+        }
+    }
+
+    /// Cells due for clustering at `now`, rescheduling them one interval out.
+    pub fn due_cells(&mut self, now: Timestamp) -> Vec<CellId> {
+        let now_s = now.as_secs_f64();
+        let mut due = Vec::new();
+        for (i, next) in self.next_due_secs.iter_mut().enumerate() {
+            if now_s >= *next {
+                due.push(CellId {
+                    level: self.level,
+                    index: i as u64,
+                });
+                *next = now_s + self.interval;
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{apply_update, UpdateMessage};
+    use moist_bigtable::Bigtable;
+    use moist_spatial::{Point, Velocity};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Bigtable>, MoistTables, Session, MoistConfig) {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            delta_m: 0.5,
+            clustering_level: 3,
+            ..MoistConfig::default()
+        };
+        let tables = MoistTables::create(&store, &cfg).unwrap();
+        let session = store.session(); // real cost profile: reports need time
+        (store, tables, session, cfg)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn seed_leader(
+        s: &mut Session,
+        t: &MoistTables,
+        cfg: &MoistConfig,
+        oid: u64,
+        x: f64,
+        y: f64,
+        vx: f64,
+        vy: f64,
+    ) {
+        apply_update(
+            s,
+            t,
+            cfg,
+            &UpdateMessage {
+                oid: ObjectId(oid),
+                loc: Point::new(x, y),
+                vel: Velocity::new(vx, vy),
+                ts: Timestamp::from_secs(1),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn similar_velocity_leaders_merge_into_one_school() {
+        let (_st, t, mut s, cfg) = setup();
+        // Three nearby leaders, two with near-identical velocities.
+        seed_leader(&mut s, &t, &cfg, 1, 100.0, 100.0, 1.0, 0.0);
+        seed_leader(&mut s, &t, &cfg, 2, 101.0, 100.0, 1.01, 0.0);
+        seed_leader(&mut s, &t, &cfg, 3, 102.0, 100.0, -1.0, 0.0); // opposite
+        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let report = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(report.pre_leaders, 3);
+        assert_eq!(report.merged, 1);
+        assert_eq!(report.post_leaders, 2);
+        // The merged leader is now a follower.
+        let lf1 = t.lf(&mut s, ObjectId(1)).unwrap().unwrap();
+        let lf2 = t.lf(&mut s, ObjectId(2)).unwrap().unwrap();
+        assert_ne!(lf1.is_leader(), lf2.is_leader(), "exactly one survives");
+        // Object 3 is untouched.
+        assert!(t.lf(&mut s, ObjectId(3)).unwrap().unwrap().is_leader());
+        // Spatial index holds exactly the two surviving leaders.
+        assert_eq!(
+            t.spatial_count_cell(&mut s, cell, cfg.space.leaf_level).unwrap(),
+            2
+        );
+        // Phase breakdown is populated.
+        assert!(report.read_us > 0.0 && report.write_us > 0.0);
+    }
+
+    #[test]
+    fn merge_transfers_followers_with_composed_displacements() {
+        let (_st, t, mut s, cfg) = setup();
+        seed_leader(&mut s, &t, &cfg, 1, 100.0, 100.0, 1.0, 0.0);
+        seed_leader(&mut s, &t, &cfg, 2, 110.0, 100.0, 1.0, 0.0);
+        let affiliate = |s: &mut Session, leader: u64, follower: u64, d| {
+            t.set_lf(
+                s,
+                ObjectId(follower),
+                &LfRecord::Follower { leader: ObjectId(leader), displacement: d, since_us: 0 },
+                Timestamp::from_secs(1),
+            )
+            .unwrap();
+            t.add_follower(s, ObjectId(leader), ObjectId(follower), d, Timestamp::from_secs(1))
+                .unwrap();
+        };
+        // Leader 1 has one follower (9); leader 2 has two (10, 11), so 2
+        // survives the merge and 1's school moves over.
+        let d9 = moist_spatial::Displacement::new(0.0, 3.0);
+        affiliate(&mut s, 1, 9, d9);
+        affiliate(&mut s, 2, 10, moist_spatial::Displacement::new(1.0, 0.0));
+        affiliate(&mut s, 2, 11, moist_spatial::Displacement::new(2.0, 0.0));
+        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let report = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(report.merged, 1);
+        assert_eq!(report.followers_moved, 1, "only the absorbed school moves");
+        assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
+        // The absorbed leader 1 follows 2 with displacement 2→1 = (-10, 0).
+        match t.lf(&mut s, ObjectId(1)).unwrap().unwrap() {
+            LfRecord::Follower { leader, displacement, .. } => {
+                assert_eq!(leader, ObjectId(2));
+                assert!((displacement.dx - (-10.0)).abs() < 1e-9);
+            }
+            _ => panic!("absorbed leader must follow"),
+        }
+        // Follower 9's displacement composed: 2→1 + 1→9 = (-10, 3).
+        match t.lf(&mut s, ObjectId(9)).unwrap().unwrap() {
+            LfRecord::Follower { leader, displacement, .. } => {
+                assert_eq!(leader, ObjectId(2));
+                assert!((displacement.dx - (-10.0)).abs() < 1e-9);
+                assert!((displacement.dy - 3.0).abs() < 1e-9);
+            }
+            _ => panic!("moved follower must follow the survivor"),
+        }
+        // Survivor's Follower Info: 10, 11, moved 9, absorbed 1.
+        let followers = t.followers(&mut s, ObjectId(2)).unwrap();
+        assert_eq!(followers.len(), 4);
+        // Absorbed leader's own Follower Info was cleared.
+        assert!(t.followers(&mut s, ObjectId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn far_apart_leaders_are_not_merged_across_cells() {
+        let (_st, t, mut s, cfg) = setup();
+        // Same velocity but opposite map corners: different clustering cells.
+        seed_leader(&mut s, &t, &cfg, 1, 10.0, 10.0, 1.0, 0.0);
+        seed_leader(&mut s, &t, &cfg, 2, 990.0, 990.0, 1.0, 0.0);
+        let report = cluster_sweep(&mut s, &t, &cfg, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(report.merged, 0, "geographic proximity is required");
+        assert_eq!(report.pre_leaders, 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_cells_are_cheap_noops() {
+        let (_st, t, mut s, cfg) = setup();
+        seed_leader(&mut s, &t, &cfg, 1, 500.0, 500.0, 1.0, 0.0);
+        let empty_cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(10.0, 10.0));
+        let r = cluster_cell(&mut s, &t, &cfg, empty_cell, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(r.pre_leaders, 0);
+        assert_eq!(r.write_us, 0.0);
+        let single = cfg.space.cell_at(cfg.clustering_level, &Point::new(500.0, 500.0));
+        let r = cluster_cell(&mut s, &t, &cfg, single, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(r.pre_leaders, 1);
+        assert_eq!(r.merged, 0);
+    }
+
+    #[test]
+    fn clustering_is_idempotent() {
+        let (_st, t, mut s, cfg) = setup();
+        for i in 0..10 {
+            seed_leader(&mut s, &t, &cfg, i, 100.0 + i as f64, 100.0, 1.0, 0.0);
+        }
+        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let r1 = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(r1.post_leaders, 1);
+        let r2 = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(3)).unwrap();
+        assert_eq!(r2.pre_leaders, 1);
+        assert_eq!(r2.merged, 0, "second clustering finds nothing to merge");
+    }
+
+    #[test]
+    fn scheduler_fires_each_cell_once_per_interval() {
+        let cfg = MoistConfig {
+            clustering_level: 1, // 4 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut sched = ClusterScheduler::new(&cfg);
+        assert!(sched.due_cells(Timestamp::from_secs(5)).is_empty());
+        // Deadlines are staggered at 10, 12.5, 15, 17.5 s: after 18 s every
+        // cell has fired exactly once.
+        let mut fired = 0;
+        for t in [10, 12, 15, 18] {
+            fired += sched.due_cells(Timestamp::from_secs(t)).len();
+        }
+        assert_eq!(fired, 4);
+        // They re-arm one interval after their last firing.
+        let more = sched.due_cells(Timestamp::from_secs(40)).len();
+        assert_eq!(more, 4);
+    }
+}

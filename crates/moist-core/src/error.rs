@@ -1,0 +1,61 @@
+//! MOIST error type.
+
+use moist_bigtable::BigtableError;
+use std::fmt;
+
+/// Errors surfaced by the MOIST indexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoistError {
+    /// Underlying store error.
+    Store(BigtableError),
+    /// A stored value failed to decode (corruption or version skew).
+    Codec(&'static str),
+    /// An update or query referenced an object with inconsistent state
+    /// (e.g. a follower whose leader vanished).
+    Inconsistent(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for MoistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoistError::Store(e) => write!(f, "store error: {e}"),
+            MoistError::Codec(msg) => write!(f, "codec error: {msg}"),
+            MoistError::Inconsistent(msg) => write!(f, "inconsistent state: {msg}"),
+            MoistError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MoistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MoistError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BigtableError> for MoistError {
+    fn from(e: BigtableError) -> Self {
+        MoistError::Store(e)
+    }
+}
+
+/// Result alias for MOIST operations.
+pub type Result<T> = std::result::Result<T, MoistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = MoistError::from(BigtableError::UnknownTable("x".into()));
+        assert!(e.to_string().contains("unknown table"));
+        assert!(e.source().is_some());
+        assert!(MoistError::Codec("bad").source().is_none());
+    }
+}

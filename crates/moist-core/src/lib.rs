@@ -1,0 +1,65 @@
+//! # moist-core
+//!
+//! The MOIST moving-object indexer (Jiang, Bao, Chang, Li — VLDB 2012):
+//! update shedding through **object schools**, spatial indexing over a
+//! space-filling curve, adaptive nearest-neighbour search, lazy velocity
+//! clustering, and hooks into the PPP aged-data archiver.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`tables`] — the Location, Spatial Index and Affiliation tables (§3.1);
+//! * [`school`] — estimated locations & school membership (§3.3);
+//! * [`update`] — Algorithm 1, the three-branch update procedure (§3.3.1);
+//! * [`cluster`] + [`hexgrid`] — lazy O(n) velocity clustering (§3.3.2);
+//! * [`nn`] — Algorithm 2 nearest-neighbour search (§3.4.1);
+//! * [`flag`] — Algorithms 3–4, the Fast Level Adaptive Grid (§3.4.2);
+//! * [`server`] — a front-end server tying everything together (§4.3).
+//!
+//! ```
+//! use moist_bigtable::{Bigtable, Timestamp};
+//! use moist_core::{MoistConfig, MoistServer, ObjectId, UpdateMessage};
+//! use moist_spatial::{Point, Velocity};
+//!
+//! let store = Bigtable::new();
+//! let mut server = MoistServer::new(&store, MoistConfig::default())?;
+//! server.update(&UpdateMessage {
+//!     oid: ObjectId(7),
+//!     loc: Point::new(250.0, 750.0),
+//!     vel: Velocity::new(1.5, 0.0),
+//!     ts: Timestamp::from_secs(1),
+//! })?;
+//! let (neighbors, _stats) = server.nn(Point::new(250.0, 750.0), 1, Timestamp::from_secs(1))?;
+//! assert_eq!(neighbors[0].oid, ObjectId(7));
+//! # Ok::<(), moist_core::MoistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod flag;
+pub mod hexgrid;
+pub mod ids;
+pub mod nn;
+pub mod region;
+pub mod school;
+pub mod server;
+pub mod tables;
+pub mod update;
+
+pub use cluster::{cluster_cell, cluster_sweep, ClusterReport, ClusterScheduler};
+pub use codec::{LfRecord, LocationRecord};
+pub use config::{table_names, MoistConfig};
+pub use error::{MoistError, Result};
+pub use flag::{FlagStats, FlagTuner};
+pub use hexgrid::{HexBin, HexGrid};
+pub use ids::ObjectId;
+pub use nn::{nn_query, Neighbor, NnOptions, NnStats};
+pub use region::{region_query, RegionStats};
+pub use school::{estimated_location, within_school};
+pub use server::{MoistServer, ServerStats};
+pub use tables::{MoistTables, SpatialEntry};
+pub use update::{apply_update, UpdateMessage, UpdateOutcome};

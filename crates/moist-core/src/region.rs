@@ -1,0 +1,269 @@
+//! Region queries: all objects inside a rectangle.
+//!
+//! §3.2.1: "An arbitrary region can be approximated by a collection of
+//! cells" and "any query for … objects on 2-D space can be transformed to a
+//! combination of queries on the 1-D key space for which BigTable provides
+//! parallelism to read data from multiple ranges." We cover the region with
+//! cells at an adaptive level, merge adjacent cells into maximal contiguous
+//! key ranges (one scan RPC each), and expand schools like NN search does.
+
+use crate::config::MoistConfig;
+use crate::error::Result;
+use crate::nn::Neighbor;
+use crate::tables::MoistTables;
+use moist_bigtable::{Session, Timestamp};
+use moist_spatial::{cover_rect, Rect};
+
+/// Statistics of one region query.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionStats {
+    /// Contiguous key ranges scanned (one RPC each).
+    pub ranges_scanned: usize,
+    /// Leader rows retrieved.
+    pub leaders_fetched: usize,
+    /// Virtual µs the query cost.
+    pub cost_us: f64,
+}
+
+/// Returns every object inside the world-coordinate `rect` at time `at`
+/// (leaders extrapolated linearly; followers at leader + displacement when
+/// `include_followers`).
+///
+/// `margin` enlarges the *scanned* window (not the returned filter): the
+/// Spatial Index Table stores last-reported positions, so an object indexed
+/// just outside the rect may have moved inside since, and a school leader
+/// outside may carry followers displaced inside. Choose
+/// `margin ≥ v_max · max-staleness + school radius` for exact results —
+/// the same enlargement rule the Bx-tree applies to its windows.
+pub fn region_query(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    rect: &Rect,
+    at: Timestamp,
+    include_followers: bool,
+    margin: f64,
+) -> Result<(Vec<Neighbor>, RegionStats)> {
+    let mut stats = RegionStats::default();
+    let cost0 = s.elapsed_us();
+    let m = margin.max(0.0);
+    let scan_rect = Rect::new(
+        rect.min_x - m,
+        rect.min_y - m,
+        rect.max_x + m,
+        rect.max_y + m,
+    );
+    let unit = cfg.space.rect_to_unit(&scan_rect);
+    // Adaptive cover level: at most a 16×16 cell grid over the region, so
+    // enumeration stays bounded while ranges stay tight.
+    let mut cover_level = cfg.space.leaf_level;
+    while cover_level > 0 {
+        let side = (1u64 << cover_level) as f64;
+        if (unit.max_x - unit.min_x) * side <= 16.0 && (unit.max_y - unit.min_y) * side <= 16.0 {
+            break;
+        }
+        cover_level -= 1;
+    }
+    let cells = cover_rect(cfg.space.curve, cover_level, &unit);
+    // Merge adjacent cover cells into maximal contiguous leaf ranges.
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for c in &cells {
+        let Some((start, end)) = c.descendant_range(cfg.space.leaf_level) else {
+            continue;
+        };
+        match ranges.last_mut() {
+            Some((_, e)) if *e == start => *e = end,
+            _ => ranges.push((start, end)),
+        }
+    }
+    let mut leaders = Vec::new();
+    for &(start, end) in &ranges {
+        let entries = tables.spatial_scan_range(s, start, end, None)?;
+        stats.ranges_scanned += 1;
+        stats.leaders_fetched += entries.len();
+        leaders.extend(entries);
+    }
+    let mut out: Vec<Neighbor> = Vec::new();
+    let mut kept: Vec<(crate::tables::SpatialEntry, moist_spatial::Point)> = Vec::new();
+    for entry in leaders {
+        let pos = entry
+            .record
+            .loc
+            .advance(entry.record.vel, at.secs_since(entry.ts));
+        // The cover is a superset: filter by the true rectangle.
+        if rect.contains(&pos) {
+            out.push(Neighbor {
+                oid: entry.oid,
+                loc: pos,
+                distance: 0.0,
+                leader: entry.oid,
+            });
+            kept.push((entry, pos));
+        } else if include_followers {
+            // A leader just outside may still have followers inside.
+            kept.push((entry, pos));
+        }
+    }
+    if include_followers && !kept.is_empty() {
+        let ids: Vec<_> = kept.iter().map(|(e, _)| e.oid).collect();
+        let infos = tables.batch_followers(s, &ids)?;
+        for ((entry, leader_pos), followers) in kept.iter().zip(infos) {
+            for (foid, disp) in followers {
+                let pos = leader_pos.translate(disp);
+                if rect.contains(&pos) {
+                    out.push(Neighbor {
+                        oid: foid,
+                        loc: pos,
+                        distance: 0.0,
+                        leader: entry.oid,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|n| n.oid);
+    out.dedup_by_key(|n| n.oid);
+    stats.cost_us = s.elapsed_us() - cost0;
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LfRecord;
+    use crate::ids::ObjectId;
+    use crate::update::{apply_update, UpdateMessage};
+    use moist_bigtable::{Bigtable, CostProfile};
+    use moist_spatial::{Displacement, Point, Velocity};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Bigtable>, MoistTables, Session, MoistConfig) {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let tables = MoistTables::create(&store, &cfg).unwrap();
+        let session = store.session_with(CostProfile::free());
+        (store, tables, session, cfg)
+    }
+
+    fn put(s: &mut Session, t: &MoistTables, cfg: &MoistConfig, oid: u64, x: f64, y: f64) {
+        apply_update(
+            s,
+            t,
+            cfg,
+            &UpdateMessage {
+                oid: ObjectId(oid),
+                loc: Point::new(x, y),
+                vel: Velocity::ZERO,
+                ts: Timestamp::from_secs(1),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_grid() {
+        let (_st, t, mut s, cfg) = setup();
+        for i in 0..100u64 {
+            put(&mut s, &t, &cfg, i, (i % 10) as f64 * 100.0 + 5.0, (i / 10) as f64 * 100.0 + 5.0);
+        }
+        let rect = Rect::new(150.0, 150.0, 450.0, 350.0);
+        let (hits, stats) =
+            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), true, 0.0).unwrap();
+        // Brute force: x ∈ {205, 305, 405}, y ∈ {205, 305}: 6 objects.
+        assert_eq!(hits.len(), 6);
+        for h in &hits {
+            assert!(rect.contains(&h.loc));
+        }
+        assert!(stats.ranges_scanned >= 1);
+        assert!(stats.leaders_fetched >= 6);
+    }
+
+    #[test]
+    fn extrapolates_moving_leaders() {
+        let (_st, t, mut s, cfg) = setup();
+        apply_update(
+            &mut s,
+            &t,
+            &cfg,
+            &UpdateMessage {
+                oid: ObjectId(1),
+                loc: Point::new(100.0, 500.0),
+                vel: Velocity::new(10.0, 0.0),
+                ts: Timestamp::from_secs(0),
+            },
+        )
+        .unwrap();
+        // At t=20 the object should be around x=300.
+        let rect = Rect::new(290.0, 490.0, 310.0, 510.0);
+        // Margin must cover v·staleness = 10 u/s × 20 s = 200 units.
+        let (hits, _) =
+            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(20), true, 200.0).unwrap();
+        assert_eq!(hits.len(), 1);
+        // And not at its stale location (even with the generous margin).
+        let stale = Rect::new(90.0, 490.0, 110.0, 510.0);
+        let (hits, _) =
+            region_query(&mut s, &t, &cfg, &stale, Timestamp::from_secs(20), true, 200.0).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn followers_of_outside_leaders_are_found() {
+        let (_st, t, mut s, cfg) = setup();
+        // Leader outside the query rect; follower displaced inside it.
+        put(&mut s, &t, &cfg, 1, 100.0, 100.0);
+        let d = Displacement::new(200.0, 0.0); // follower at (300, 100)
+        t.set_lf(
+            &mut s,
+            ObjectId(2),
+            &LfRecord::Follower { leader: ObjectId(1), displacement: d, since_us: 0 },
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+        t.add_follower(&mut s, ObjectId(1), ObjectId(2), d, Timestamp::from_secs(1))
+            .unwrap();
+        let rect = Rect::new(250.0, 50.0, 350.0, 150.0);
+        // Margin must cover the school's displacement span (200 units).
+        let (hits, _) =
+            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), true, 200.0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].oid, ObjectId(2));
+        assert_eq!(hits[0].leader, ObjectId(1));
+        // Leaders-only mode misses it.
+        let (hits, _) =
+            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), false, 200.0).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn empty_region_is_cheap_and_empty() {
+        let (_st, t, mut s, cfg) = setup();
+        put(&mut s, &t, &cfg, 1, 900.0, 900.0);
+        let rect = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let (hits, stats) =
+            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), true, 0.0).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(stats.leaders_fetched, 0);
+    }
+
+    #[test]
+    fn whole_map_region_returns_everything_once() {
+        let (_st, t, mut s, cfg) = setup();
+        for i in 0..50u64 {
+            put(&mut s, &t, &cfg, i, (i * 19 % 1000) as f64, (i * 37 % 1000) as f64);
+        }
+        let (hits, _) = region_query(
+            &mut s,
+            &t,
+            &cfg,
+            &cfg.space.world,
+            Timestamp::from_secs(1),
+            true,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 50);
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.oid.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+}

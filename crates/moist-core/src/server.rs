@@ -1,0 +1,462 @@
+//! The MOIST front-end server.
+//!
+//! A [`MoistServer`] is one of the paper's front-end machines: it owns a
+//! cost-charged store session, applies updates (Algorithm 1), answers NN
+//! queries (Algorithm 2 + FLAG), runs lazy clustering on its schedule, and
+//! streams leaders' location records into the PPP archiver. Several servers
+//! share one `Arc<Bigtable>` exactly like the paper's 5- and 10-server
+//! deployments share one BigTable (§4.3.3).
+
+use crate::cluster::{cluster_cell, ClusterReport, ClusterScheduler};
+use crate::config::MoistConfig;
+use crate::error::Result;
+use crate::flag::{FlagStats, FlagTuner};
+use crate::ids::ObjectId;
+use crate::nn::{nn_query, Neighbor, NnOptions, NnStats};
+use crate::school::estimated_location;
+use crate::tables::MoistTables;
+use crate::update::{apply_update, UpdateMessage, UpdateOutcome};
+use moist_archive::{HistoryRecord, PppArchiver, QueryCost};
+use moist_bigtable::{Bigtable, Session, Timestamp};
+use moist_spatial::Point;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-server operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Updates received.
+    pub updates: u64,
+    /// Updates shed by schooling (no store writes).
+    pub shed: u64,
+    /// Leader-branch updates.
+    pub leader_updates: u64,
+    /// First-sight registrations.
+    pub registered: u64,
+    /// School departures.
+    pub departures: u64,
+    /// NN queries served.
+    pub nn_queries: u64,
+    /// Clustering runs executed.
+    pub cluster_runs: u64,
+}
+
+impl ServerStats {
+    /// Fraction of updates shed (`0.0` when no updates were seen).
+    pub fn shed_ratio(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.updates as f64
+        }
+    }
+}
+
+/// One MOIST front-end server.
+pub struct MoistServer {
+    cfg: MoistConfig,
+    tables: MoistTables,
+    session: Session,
+    flag: FlagTuner,
+    scheduler: ClusterScheduler,
+    archiver: Option<Arc<PppArchiver>>,
+    stats: ServerStats,
+    /// Object-count estimate for FLAG's initial guess, refreshed lazily.
+    object_estimate: u64,
+}
+
+impl MoistServer {
+    /// Opens (or on first use creates) the MOIST tables in `store` and
+    /// builds a server around them.
+    pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig) -> Result<Self> {
+        cfg.validate()?;
+        let tables = match MoistTables::open(store) {
+            Ok(t) => t,
+            Err(_) => MoistTables::create(store, &cfg)?,
+        };
+        Ok(MoistServer {
+            flag: FlagTuner::new(&cfg),
+            scheduler: ClusterScheduler::new(&cfg),
+            session: store.session(),
+            archiver: None,
+            stats: ServerStats::default(),
+            object_estimate: 0,
+            tables,
+            cfg,
+        })
+    }
+
+    /// Attaches the PPP archiver: every non-shed location write is also
+    /// streamed into the aged-data pipeline.
+    pub fn with_archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
+        self.archiver = Some(archiver);
+        self
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &MoistConfig {
+        &self.cfg
+    }
+
+    /// The shared tables (e.g. for direct inspection in tests).
+    pub fn tables(&self) -> &MoistTables {
+        &self.tables
+    }
+
+    /// Mutable access to the underlying session (benches reset its clock).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Virtual microseconds this server has consumed.
+    pub fn elapsed_us(&self) -> f64 {
+        self.session.elapsed_us()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// FLAG tuner counters.
+    pub fn flag_stats(&self) -> FlagStats {
+        self.flag.stats()
+    }
+
+    /// Applies one update (Algorithm 1), maintaining counters and feeding
+    /// the archiver on the non-shed branches.
+    pub fn update(&mut self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
+        let outcome = apply_update(&mut self.session, &self.tables, &self.cfg, msg)?;
+        self.stats.updates += 1;
+        match outcome {
+            UpdateOutcome::Shed => self.stats.shed += 1,
+            UpdateOutcome::LeaderUpdated => self.stats.leader_updates += 1,
+            UpdateOutcome::Registered => {
+                self.stats.registered += 1;
+                self.object_estimate += 1;
+            }
+            UpdateOutcome::Departed { .. } => self.stats.departures += 1,
+        }
+        if outcome != UpdateOutcome::Shed {
+            if let Some(archiver) = &self.archiver {
+                archiver.ingest(
+                    HistoryRecord::new(msg.oid.0, msg.ts.0, msg.loc, msg.vel),
+                    msg.ts.0,
+                );
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// k-nearest-neighbour query with FLAG-tuned level.
+    pub fn nn(
+        &mut self,
+        center: Point,
+        k: usize,
+        at: Timestamp,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        let n = self.object_estimate.max(1);
+        let level = self.flag.best_level(
+            &mut self.session,
+            &self.tables,
+            &self.cfg,
+            &center,
+            n,
+            at,
+        )?;
+        self.nn_at_level(center, k, at, level)
+    }
+
+    /// k-NN at a fixed NN level (the paper's "Search Level 19/20" mode).
+    pub fn nn_at_level(
+        &mut self,
+        center: Point,
+        k: usize,
+        at: Timestamp,
+        nn_level: u8,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        self.nn_with_options(center, at, &NnOptions::new(k, nn_level))
+    }
+
+    /// NN query with explicit options (range limits, prediction, follower
+    /// expansion — see [`NnOptions`]).
+    pub fn nn_with_options(
+        &mut self,
+        center: Point,
+        at: Timestamp,
+        opts: &NnOptions,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        let out = nn_query(&mut self.session, &self.tables, &self.cfg, center, at, opts)?;
+        self.stats.nn_queries += 1;
+        Ok(out)
+    }
+
+    /// FLAG-tuned NN level for `loc` at `at` (exposed for the Figure 12
+    /// benches that compare FLAG against fixed levels).
+    pub fn flag_level(&mut self, loc: &Point, at: Timestamp) -> Result<u8> {
+        let n = self.object_estimate.max(1);
+        self.flag
+            .best_level(&mut self.session, &self.tables, &self.cfg, loc, n, at)
+    }
+
+    /// Predictive k-NN: neighbours ranked by their positions `horizon_secs`
+    /// into the future.
+    pub fn nn_predictive(
+        &mut self,
+        center: Point,
+        k: usize,
+        at: Timestamp,
+        horizon_secs: f64,
+        nn_level: u8,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        let opts = NnOptions {
+            predict_secs: horizon_secs,
+            ..NnOptions::new(k, nn_level)
+        };
+        self.nn_with_options(center, at, &opts)
+    }
+
+    /// All objects inside a world-coordinate rectangle at `at` ("browse all
+    /// running buses near a location", §5).
+    pub fn region(
+        &mut self,
+        rect: &moist_spatial::Rect,
+        at: Timestamp,
+        margin: f64,
+    ) -> Result<(Vec<Neighbor>, crate::region::RegionStats)> {
+        crate::region::region_query(
+            &mut self.session,
+            &self.tables,
+            &self.cfg,
+            rect,
+            at,
+            true,
+            margin,
+        )
+    }
+
+    /// Current position of one object: leaders from their latest record,
+    /// followers via the school estimate (§3.3.1).
+    pub fn position(&mut self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
+        use crate::codec::LfRecord;
+        match self.tables.lf(&mut self.session, oid)? {
+            None => Ok(None),
+            Some(LfRecord::Leader { .. }) => {
+                Ok(self
+                    .tables
+                    .latest_location(&mut self.session, oid)?
+                    .map(|(ts, rec)| rec.loc.advance(rec.vel, at.secs_since(ts))))
+            }
+            Some(LfRecord::Follower { leader, displacement, .. }) => {
+                match self.tables.latest_location(&mut self.session, leader)? {
+                    None => Ok(None),
+                    Some((ts, rec)) => {
+                        Ok(Some(estimated_location(&rec, ts, displacement, at)))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs clustering for every cell due at `now` (lazy clustering).
+    pub fn run_due_clustering(&mut self, now: Timestamp) -> Result<ClusterReport> {
+        let mut total = ClusterReport::default();
+        for cell in self.scheduler.due_cells(now) {
+            let r = cluster_cell(&mut self.session, &self.tables, &self.cfg, cell, now)?;
+            total.merge_from(&r);
+            self.stats.cluster_runs += 1;
+        }
+        Ok(total)
+    }
+
+    /// Object history from the archiver (in-memory window + disks).
+    pub fn history(
+        &self,
+        oid: ObjectId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Option<(Vec<HistoryRecord>, QueryCost)> {
+        self.archiver
+            .as_ref()
+            .map(|a| a.query_object(oid.0, from.0, to.0))
+    }
+
+    /// Ages out old location and affiliation records to disk columns.
+    pub fn age_data(&mut self, now: Timestamp) -> Result<usize> {
+        let cutoff = Timestamp(
+            now.0
+                .saturating_sub((self.cfg.aging_secs.max(0.0) * 1e6) as u64),
+        );
+        let a = self.tables.age_locations(cutoff)?;
+        let b = self.tables.age_affiliations(cutoff)?;
+        Ok(a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_archive::PppConfig;
+    use moist_spatial::Velocity;
+
+    fn msg(oid: u64, x: f64, y: f64, vx: f64, secs: f64) -> UpdateMessage {
+        UpdateMessage {
+            oid: ObjectId(oid),
+            loc: Point::new(x, y),
+            vel: Velocity::new(vx, 0.0),
+            ts: Timestamp::from_secs_f64(secs),
+        }
+    }
+
+    #[test]
+    fn end_to_end_update_query_cycle() {
+        let store = Bigtable::new();
+        let mut server = MoistServer::new(&store, MoistConfig::default()).unwrap();
+        for i in 0..20u64 {
+            server
+                .update(&msg(i, 100.0 + 10.0 * i as f64, 500.0, 1.0, 0.0))
+                .unwrap();
+        }
+        let (nn, stats) = server.nn(Point::new(100.0, 500.0), 5, Timestamp::ZERO).unwrap();
+        assert_eq!(nn.len(), 5);
+        assert_eq!(nn[0].oid, ObjectId(0));
+        assert!(stats.cost_us > 0.0, "queries must cost virtual time");
+        assert_eq!(server.stats().updates, 20);
+        assert_eq!(server.stats().registered, 20);
+        assert!(server.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn two_servers_share_one_store() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let mut a = MoistServer::new(&store, cfg).unwrap();
+        let mut b = MoistServer::new(&store, cfg).unwrap();
+        a.update(&msg(1, 100.0, 100.0, 1.0, 0.0)).unwrap();
+        // Server b sees server a's object.
+        let pos = b.position(ObjectId(1), Timestamp::ZERO).unwrap().unwrap();
+        assert_eq!(pos, Point::new(100.0, 100.0));
+        let (nn, _) = b.nn(Point::new(100.0, 100.0), 1, Timestamp::ZERO).unwrap();
+        assert_eq!(nn[0].oid, ObjectId(1));
+    }
+
+    #[test]
+    fn position_extrapolates_leaders_and_estimates_followers() {
+        let store = Bigtable::new();
+        let mut server = MoistServer::new(&store, MoistConfig::default()).unwrap();
+        server.update(&msg(1, 100.0, 100.0, 2.0, 0.0)).unwrap();
+        // Leader extrapolated 5 s forward at vx=2: x = 110.
+        let p = server
+            .position(ObjectId(1), Timestamp::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert!((p.x - 110.0).abs() < 1e-9);
+        // Manually affiliate a follower and check its estimate.
+        use crate::codec::LfRecord;
+        use moist_spatial::Displacement;
+        let t = server.tables().clone();
+        let d = Displacement::new(0.0, 7.0);
+        t.set_lf(
+            server.session_mut(),
+            ObjectId(2),
+            &LfRecord::Follower { leader: ObjectId(1), displacement: d, since_us: 0 },
+            Timestamp::ZERO,
+        )
+        .unwrap();
+        let p = server
+            .position(ObjectId(2), Timestamp::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert!((p.x - 110.0).abs() < 1e-9 && (p.y - 107.0).abs() < 1e-9);
+        assert!(server
+            .position(ObjectId(99), Timestamp::ZERO)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn archiver_receives_leader_records_and_serves_history() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let archiver = Arc::new(PppArchiver::new(cfg.space, PppConfig::default()));
+        let mut server = MoistServer::new(&store, cfg)
+            .unwrap()
+            .with_archiver(Arc::clone(&archiver));
+        for t in 0..10u64 {
+            server
+                .update(&msg(1, 100.0 + t as f64, 100.0, 1.0, t as f64))
+                .unwrap();
+        }
+        archiver.flush_all();
+        let (hist, _) = server
+            .history(ObjectId(1), Timestamp::ZERO, Timestamp::from_secs(100))
+            .unwrap();
+        assert_eq!(hist.len(), 10);
+    }
+
+    #[test]
+    fn clustering_runs_on_schedule_and_reduces_leaders() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 2,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut server = MoistServer::new(&store, cfg).unwrap();
+        for i in 0..10u64 {
+            server
+                .update(&msg(i, 500.0 + i as f64, 500.0, 1.0, 0.0))
+                .unwrap();
+        }
+        // Not yet due.
+        let r = server.run_due_clustering(Timestamp::from_secs(1)).unwrap();
+        assert_eq!(r.pre_leaders, 0);
+        // After the interval every cell has fired at least once.
+        let r = server.run_due_clustering(Timestamp::from_secs(25)).unwrap();
+        assert!(r.merged > 0, "identical-velocity leaders must merge");
+        assert!(server.stats().cluster_runs > 0);
+    }
+
+    #[test]
+    fn shed_ratio_reflects_schooling() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 2,
+            ..MoistConfig::default()
+        };
+        let mut server = MoistServer::new(&store, cfg).unwrap();
+        // Two co-moving objects.
+        server.update(&msg(1, 100.0, 100.0, 1.0, 0.0)).unwrap();
+        server.update(&msg(2, 101.0, 100.0, 1.0, 0.0)).unwrap();
+        server.run_due_clustering(Timestamp::from_secs(30)).unwrap();
+        // Subsequent follower updates along the shared trajectory are shed.
+        for t in 1..=10u64 {
+            let x = 101.0 + t as f64;
+            server.update(&msg(2, x, 100.0, 1.0, t as f64)).unwrap();
+        }
+        assert!(server.stats().shed >= 9, "stats: {:?}", server.stats());
+        assert!(server.stats().shed_ratio() > 0.7);
+    }
+
+    #[test]
+    fn age_data_moves_cold_records() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            aging_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut server = MoistServer::new(&store, cfg).unwrap();
+        server.update(&msg(1, 100.0, 100.0, 1.0, 0.0)).unwrap();
+        server.update(&msg(1, 110.0, 100.0, 1.0, 5.0)).unwrap();
+        server.update(&msg(1, 120.0, 100.0, 1.0, 100.0)).unwrap();
+        let moved = server.age_data(Timestamp::from_secs(100)).unwrap();
+        assert!(moved >= 2, "old records age to disk, got {moved}");
+        // The hot path still works.
+        let p = server
+            .position(ObjectId(1), Timestamp::from_secs(100))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.x, 120.0);
+    }
+}

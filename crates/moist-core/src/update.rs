@@ -1,0 +1,311 @@
+//! The MOIST update procedure (Algorithm 1, §3.3.1).
+//!
+//! An update message is the 4-tuple `(ID, Loc, V, t)`. The procedure has
+//! three branches: leader update, shed follower update, and follower
+//! departure. A fourth branch — first sight of an object — registers it as
+//! the leader of a fresh single-member school (the paper leaves
+//! registration implicit).
+
+use crate::codec::{LfRecord, LocationRecord};
+use crate::config::MoistConfig;
+use crate::error::{MoistError, Result};
+use crate::ids::ObjectId;
+use crate::school::within_school;
+use crate::tables::MoistTables;
+use moist_bigtable::{Session, Timestamp};
+use moist_spatial::{Point, Velocity};
+
+/// One location update from a mobile client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMessage {
+    /// The reporting object.
+    pub oid: ObjectId,
+    /// Reported world-coordinate location.
+    pub loc: Point,
+    /// Reported velocity.
+    pub vel: Velocity,
+    /// Report time.
+    pub ts: Timestamp,
+}
+
+/// What the update procedure did with a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// First sight: the object became the leader of a new school.
+    Registered,
+    /// Leader branch: Location + Spatial Index tables updated.
+    LeaderUpdated,
+    /// Follower within ε of its estimate: the update was shed — zero
+    /// writes reached the store.
+    Shed,
+    /// Follower left its school and became a leader of a new school.
+    Departed {
+        /// The school it left.
+        old_leader: ObjectId,
+    },
+}
+
+/// Applies Algorithm 1 for one message. Returns what happened, so callers
+/// can track shed ratios.
+pub fn apply_update(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    msg: &UpdateMessage,
+) -> Result<UpdateOutcome> {
+    if !msg.loc.is_finite() || !msg.vel.is_finite() {
+        return Err(MoistError::Inconsistent(format!(
+            "non-finite update for {}",
+            msg.oid
+        )));
+    }
+    let new_leaf = cfg.space.leaf_cell(&msg.loc).index;
+    let record = LocationRecord {
+        loc: msg.loc,
+        vel: msg.vel,
+        leaf_index: new_leaf,
+    };
+
+    // Line 1: is the object a leader or a follower?
+    match tables.lf(s, msg.oid)? {
+        None => {
+            // First sight: become a leader of a new (singleton) school.
+            tables.set_lf(
+                s,
+                msg.oid,
+                &LfRecord::Leader { since_us: msg.ts.0, last_leaf: new_leaf },
+                msg.ts,
+            )?;
+            tables.put_location(s, msg.oid, &record, msg.ts)?;
+            tables.spatial_insert(s, new_leaf, msg.oid, &record, msg.ts)?;
+            Ok(UpdateOutcome::Registered)
+        }
+        Some(LfRecord::Leader { since_us, last_leaf }) => {
+            // Lines 2–3: leader path.
+            tables.put_location(s, msg.oid, &record, msg.ts)?;
+            tables.spatial_move(s, last_leaf, new_leaf, msg.oid, &record, msg.ts)?;
+            if last_leaf != new_leaf {
+                tables.set_lf(
+                    s,
+                    msg.oid,
+                    &LfRecord::Leader { since_us, last_leaf: new_leaf },
+                    msg.ts,
+                )?;
+            }
+            Ok(UpdateOutcome::LeaderUpdated)
+        }
+        Some(LfRecord::Follower { leader, displacement, .. }) => {
+            // Lines 5–6: estimate the follower's location from its leader.
+            let (leader_ts, leader_rec) = match tables.latest_location(s, leader)? {
+                Some(x) => x,
+                None => {
+                    // The leader vanished (e.g. merged away concurrently and
+                    // its rows aged out): self-heal by promotion.
+                    return promote_to_leader(s, tables, msg, &record, new_leaf, None);
+                }
+            };
+            // Lines 7–8: within ε → shed, zero store writes.
+            if within_school(&leader_rec, leader_ts, displacement, &msg.loc, msg.ts, cfg.epsilon)
+            {
+                return Ok(UpdateOutcome::Shed);
+            }
+            // Lines 10–13: departure — become a leader of a new school.
+            promote_to_leader(s, tables, msg, &record, new_leaf, Some(leader))
+        }
+    }
+}
+
+/// Lines 10–13 of Algorithm 1: remove the follower from its old school (if
+/// any) and set it up as a leader.
+fn promote_to_leader(
+    s: &mut Session,
+    tables: &MoistTables,
+    msg: &UpdateMessage,
+    record: &LocationRecord,
+    new_leaf: u64,
+    old_leader: Option<ObjectId>,
+) -> Result<UpdateOutcome> {
+    let mut batch = Vec::with_capacity(2);
+    if let Some(leader) = old_leader {
+        // Line 10: delete ID's entry from the old leader's Follower Info.
+        batch.push(MoistTables::remove_follower_mutation(leader, msg.oid));
+    }
+    // Line 11: label ID a leader.
+    batch.push(MoistTables::lf_mutation(
+        msg.oid,
+        &LfRecord::Leader { since_us: msg.ts.0, last_leaf: new_leaf },
+        msg.ts,
+    ));
+    tables.affiliation_batch(s, &batch)?;
+    // Line 12: Location Table.
+    tables.put_location(s, msg.oid, record, msg.ts)?;
+    // Line 13: Spatial Index Table.
+    tables.spatial_insert(s, new_leaf, msg.oid, record, msg.ts)?;
+    Ok(match old_leader {
+        Some(old_leader) => UpdateOutcome::Departed { old_leader },
+        None => UpdateOutcome::Registered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LfRecord;
+    use moist_bigtable::{Bigtable, CostProfile};
+    use moist_spatial::Displacement;
+    use std::sync::Arc;
+
+    fn setup(epsilon: f64) -> (Arc<Bigtable>, MoistTables, Session, MoistConfig) {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon,
+            ..MoistConfig::default()
+        };
+        let tables = MoistTables::create(&store, &cfg).unwrap();
+        let session = store.session_with(CostProfile::free());
+        (store, tables, session, cfg)
+    }
+
+    fn msg(oid: u64, x: f64, y: f64, vx: f64, secs: u64) -> UpdateMessage {
+        UpdateMessage {
+            oid: ObjectId(oid),
+            loc: Point::new(x, y),
+            vel: Velocity::new(vx, 0.0),
+            ts: Timestamp::from_secs(secs),
+        }
+    }
+
+    #[test]
+    fn first_update_registers_a_leader() {
+        let (_st, t, mut s, cfg) = setup(5.0);
+        let out = apply_update(&mut s, &t, &cfg, &msg(1, 100.0, 100.0, 1.0, 0)).unwrap();
+        assert_eq!(out, UpdateOutcome::Registered);
+        assert!(t.lf(&mut s, ObjectId(1)).unwrap().unwrap().is_leader());
+        let (_, rec) = t.latest_location(&mut s, ObjectId(1)).unwrap().unwrap();
+        assert_eq!(rec.loc, Point::new(100.0, 100.0));
+        // Present in the spatial index.
+        let cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        assert_eq!(
+            t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn leader_update_moves_spatial_entry_exactly_once() {
+        let (_st, t, mut s, cfg) = setup(5.0);
+        apply_update(&mut s, &t, &cfg, &msg(1, 100.0, 100.0, 1.0, 0)).unwrap();
+        let out = apply_update(&mut s, &t, &cfg, &msg(1, 600.0, 600.0, 1.0, 1)).unwrap();
+        assert_eq!(out, UpdateOutcome::LeaderUpdated);
+        // Old cell empty, new cell has exactly one entry.
+        let old_cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let new_cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(600.0, 600.0));
+        assert_eq!(t.spatial_count_cell(&mut s, old_cc, cfg.space.leaf_level).unwrap(), 0);
+        assert_eq!(t.spatial_count_cell(&mut s, new_cc, cfg.space.leaf_level).unwrap(), 1);
+        // The LF record tracks the new leaf.
+        match t.lf(&mut s, ObjectId(1)).unwrap().unwrap() {
+            LfRecord::Leader { last_leaf, .. } => {
+                assert_eq!(last_leaf, cfg.space.leaf_cell(&Point::new(600.0, 600.0)).index);
+            }
+            _ => panic!("leader expected"),
+        }
+    }
+
+    /// Builds a two-object school: 1 leads, 2 follows at displacement (0,2).
+    fn build_school(t: &MoistTables, s: &mut Session, cfg: &MoistConfig) {
+        apply_update(s, t, cfg, &msg(1, 100.0, 100.0, 1.0, 0)).unwrap();
+        t.set_lf(
+            s,
+            ObjectId(2),
+            &LfRecord::Follower {
+                leader: ObjectId(1),
+                displacement: Displacement::new(0.0, 2.0),
+                since_us: 0,
+            },
+            Timestamp::ZERO,
+        )
+        .unwrap();
+        t.add_follower(s, ObjectId(1), ObjectId(2), Displacement::new(0.0, 2.0), Timestamp::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn follower_within_epsilon_is_shed() {
+        let (st, t, mut s, cfg) = setup(5.0);
+        build_school(&t, &mut s, &cfg);
+        let writes_before = st.metrics_snapshot();
+        // Leader at t=0 at (100,100) moving (1,0): estimate for follower at
+        // t=10 is (110, 102). Report (111, 102): 1 unit off, ε=5 → shed.
+        let out = apply_update(&mut s, &t, &cfg, &msg(2, 111.0, 102.0, 1.0, 10)).unwrap();
+        assert_eq!(out, UpdateOutcome::Shed);
+        let writes_after = st.metrics_snapshot();
+        assert_eq!(
+            writes_after.write_ops + writes_after.batch_ops,
+            writes_before.write_ops + writes_before.batch_ops,
+            "a shed update must not write"
+        );
+        // Follower has no Location Table row of its own.
+        assert!(t.latest_location(&mut s, ObjectId(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn follower_beyond_epsilon_departs_and_leads() {
+        let (_st, t, mut s, cfg) = setup(5.0);
+        build_school(&t, &mut s, &cfg);
+        // Report 300 units away from the estimate.
+        let out = apply_update(&mut s, &t, &cfg, &msg(2, 400.0, 102.0, 1.0, 10)).unwrap();
+        assert_eq!(out, UpdateOutcome::Departed { old_leader: ObjectId(1) });
+        // Now a leader with its own rows.
+        assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
+        assert!(t.latest_location(&mut s, ObjectId(2)).unwrap().is_some());
+        // Removed from the old leader's Follower Info.
+        assert!(t.followers(&mut s, ObjectId(1)).unwrap().is_empty());
+        // And it is in the spatial index at its reported location.
+        let cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(400.0, 102.0));
+        assert_eq!(t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level).unwrap(), 1);
+    }
+
+    #[test]
+    fn epsilon_zero_sheds_nothing() {
+        let (_st, t, mut s, cfg) = setup(0.0);
+        build_school(&t, &mut s, &cfg);
+        // Even a perfect report departs under ε=0 *if* it deviates at all;
+        // an exact match is still within the school (distance 0 ≤ 0).
+        let out = apply_update(&mut s, &t, &cfg, &msg(2, 110.0, 102.0, 1.0, 10)).unwrap();
+        assert_eq!(out, UpdateOutcome::Shed, "exact estimate is distance 0");
+        let out = apply_update(&mut s, &t, &cfg, &msg(2, 110.1, 102.0, 1.0, 10)).unwrap();
+        assert!(matches!(out, UpdateOutcome::Departed { .. }));
+    }
+
+    #[test]
+    fn follower_with_vanished_leader_self_heals() {
+        let (_st, t, mut s, cfg) = setup(5.0);
+        // A follower whose leader has no Location row at all.
+        t.set_lf(
+            &mut s,
+            ObjectId(2),
+            &LfRecord::Follower {
+                leader: ObjectId(1),
+                displacement: Displacement::ZERO,
+                since_us: 0,
+            },
+            Timestamp::ZERO,
+        )
+        .unwrap();
+        let out = apply_update(&mut s, &t, &cfg, &msg(2, 50.0, 50.0, 0.0, 1)).unwrap();
+        assert_eq!(out, UpdateOutcome::Registered);
+        assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
+    }
+
+    #[test]
+    fn non_finite_updates_are_rejected() {
+        let (_st, t, mut s, cfg) = setup(5.0);
+        let bad = UpdateMessage {
+            oid: ObjectId(1),
+            loc: Point::new(f64::NAN, 0.0),
+            vel: Velocity::ZERO,
+            ts: Timestamp::ZERO,
+        };
+        assert!(apply_update(&mut s, &t, &cfg, &bad).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Spherical-to-planar mapping via a cube with six faces.
+//!
+//! §3.2.1: "In the case of the surface of the Earth as 2-D space …, the 2-D
+//! surface is first partitioned into six square parts, and Hilbert Curves are
+//! employed to each part." This module provides that projection: a lat/lng
+//! coordinate is mapped to one of six cube faces plus a `(u, v)` position in
+//! that face's unit square, and the face id is prepended to the curve index
+//! to form a globally ordered key.
+//!
+//! The projection is the gnomonic (central) projection onto the unit cube —
+//! the same family S2 uses (we use the *linear* variant; S2's quadratic
+//! re-parameterisation only evens out cell areas and does not change any
+//! algorithmic property MOIST relies on).
+
+use crate::cell::CellId;
+use crate::curve::CurveKind;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// One of the six cube faces. Numbering follows the axis the face is
+/// perpendicular to: 0:+X, 1:+Y, 2:+Z, 3:−X, 4:−Y, 5:−Z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Face(pub u8);
+
+/// A position on the sphere expressed as a face plus in-face unit-square
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacePoint {
+    /// Which cube face the point projects onto.
+    pub face: Face,
+    /// In-face coordinates in `[0,1]²`.
+    pub uv: Point,
+}
+
+/// A cell on the sphere: a face plus a planar cell within that face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaceCellId {
+    /// Cube face (major sort key, mirroring S2's face-major ordering).
+    pub face: Face,
+    /// Planar cell within the face.
+    pub cell: CellId,
+}
+
+impl PartialOrd for Face {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Face {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// Geographic coordinate in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLng {
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lng_deg: f64,
+}
+
+impl LatLng {
+    /// Creates a coordinate; values are taken as-is (callers validate range).
+    pub const fn new(lat_deg: f64, lng_deg: f64) -> Self {
+        LatLng { lat_deg, lng_deg }
+    }
+
+    /// Unit direction vector on the sphere.
+    fn to_xyz(self) -> [f64; 3] {
+        let lat = self.lat_deg.to_radians();
+        let lng = self.lng_deg.to_radians();
+        [lat.cos() * lng.cos(), lat.cos() * lng.sin(), lat.sin()]
+    }
+
+    /// Projects onto the cube: picks the face whose axis has the largest
+    /// absolute component, then scales the other two components into `[0,1]`.
+    pub fn to_face_point(self) -> FacePoint {
+        let [x, y, z] = self.to_xyz();
+        let (ax, ay, az) = (x.abs(), y.abs(), z.abs());
+        let (face, u, v) = if ax >= ay && ax >= az {
+            if x >= 0.0 {
+                (0, y / ax, z / ax)
+            } else {
+                (3, -y / ax, z / ax)
+            }
+        } else if ay >= ax && ay >= az {
+            if y >= 0.0 {
+                (1, -x / ay, z / ay)
+            } else {
+                (4, x / ay, z / ay)
+            }
+        } else if z >= 0.0 {
+            (2, y / az, -x / az)
+        } else {
+            (5, y / az, x / az)
+        };
+        FacePoint {
+            face: Face(face),
+            uv: Point::new((u + 1.0) / 2.0, (v + 1.0) / 2.0),
+        }
+    }
+}
+
+impl FacePoint {
+    /// Inverse projection back to geographic coordinates.
+    pub fn to_lat_lng(self) -> LatLng {
+        let u = self.uv.x * 2.0 - 1.0;
+        let v = self.uv.y * 2.0 - 1.0;
+        let (x, y, z) = match self.face.0 {
+            0 => (1.0, u, v),
+            1 => (-u, 1.0, v),
+            2 => (-v, u, 1.0),
+            3 => (-1.0, -u, v),
+            4 => (u, -1.0, v),
+            _ => (v, u, -1.0),
+        };
+        let norm = (x * x + y * y + z * z).sqrt();
+        LatLng {
+            lat_deg: (z / norm).asin().to_degrees(),
+            lng_deg: y.atan2(x).to_degrees(),
+        }
+    }
+
+    /// The spherical cell containing this point at `level`.
+    pub fn cell(self, curve: CurveKind, level: u8) -> FaceCellId {
+        FaceCellId {
+            face: self.face,
+            cell: CellId::from_point(curve, level, &self.uv),
+        }
+    }
+}
+
+impl FaceCellId {
+    /// Packs `(face, cell)` into a single sortable `u64` key:
+    /// 3 face bits, then the curve index left-aligned at `MAX_LEVEL`
+    /// resolution so keys of different levels interleave correctly.
+    pub fn to_key(self) -> u64 {
+        let shift = 2 * (crate::curve::MAX_LEVEL - self.cell.level) as u64;
+        ((self.face.0 as u64) << 61) | (self.cell.index << shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_face_is_reachable() {
+        let probes = [
+            LatLng::new(0.0, 0.0),    // +X
+            LatLng::new(0.0, 90.0),   // +Y
+            LatLng::new(89.0, 10.0),  // +Z
+            LatLng::new(0.0, 179.0),  // −X
+            LatLng::new(0.0, -90.0),  // −Y
+            LatLng::new(-89.0, 10.0), // −Z
+        ];
+        let mut faces: Vec<u8> = probes.iter().map(|p| p.to_face_point().face.0).collect();
+        faces.sort_unstable();
+        faces.dedup();
+        assert_eq!(faces, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn projection_roundtrips() {
+        for lat in [-80.0, -45.0, -1.0, 0.0, 33.3, 60.0, 85.0] {
+            for lng in [-179.0, -90.0, -10.0, 0.0, 45.0, 120.0, 179.0] {
+                let ll = LatLng::new(lat, lng);
+                let back = ll.to_face_point().to_lat_lng();
+                assert!(
+                    (back.lat_deg - lat).abs() < 1e-9,
+                    "lat {lat} -> {}",
+                    back.lat_deg
+                );
+                let mut dl = (back.lng_deg - lng).abs();
+                if dl > 180.0 {
+                    dl = 360.0 - dl;
+                }
+                assert!(dl < 1e-9, "lng {lng} -> {}", back.lng_deg);
+            }
+        }
+    }
+
+    #[test]
+    fn uv_is_in_unit_square() {
+        for lat in (-89..=89).step_by(7) {
+            for lng in (-179..=179).step_by(13) {
+                let fp = LatLng::new(lat as f64, lng as f64).to_face_point();
+                assert!((0.0..=1.0).contains(&fp.uv.x), "u out of range");
+                assert!((0.0..=1.0).contains(&fp.uv.y), "v out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_sort_face_major() {
+        let a = LatLng::new(0.0, 0.0)
+            .to_face_point()
+            .cell(CurveKind::Hilbert, 10);
+        let b = LatLng::new(0.0, 90.0)
+            .to_face_point()
+            .cell(CurveKind::Hilbert, 10);
+        assert!(a.face < b.face);
+        assert!(a.to_key() < b.to_key());
+    }
+
+    #[test]
+    fn nearby_points_share_coarse_cells() {
+        let a = LatLng::new(25.0330, 121.5654); // Taipei (the §5 deployment)
+        let b = LatLng::new(25.0340, 121.5660);
+        let ca = a.to_face_point().cell(CurveKind::Hilbert, 8);
+        let cb = b.to_face_point().cell(CurveKind::Hilbert, 8);
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the spatial substrate.
+//!
+//! These pin down the invariants MOIST's correctness rests on: curve
+//! bijectivity, the prefix/containment property that makes cells contiguous
+//! key ranges, Hilbert locality, and geometric consistency of cell algebra.
+
+use moist_spatial::{cells_at_level, cover_rect, CellId, CurveKind, Point, Rect, Space};
+use proptest::prelude::*;
+
+fn curve_kind() -> impl Strategy<Value = CurveKind> {
+    prop_oneof![Just(CurveKind::Hilbert), Just(CurveKind::Morton)]
+}
+
+proptest! {
+    /// index ∘ coords is the identity for both curves at every level.
+    #[test]
+    fn curve_roundtrip(kind in curve_kind(), level in 0u8..=30, seed in any::<u64>()) {
+        let side = 1u64 << level;
+        let x = (seed % side) as u32;
+        let y = ((seed >> 32) % side) as u32;
+        let d = kind.index(level, x, y);
+        prop_assert!(d < cells_at_level(level));
+        prop_assert_eq!(kind.coords(level, d), (x, y));
+    }
+
+    /// Hilbert: consecutive curve indexes are grid-adjacent (locality).
+    #[test]
+    fn hilbert_steps_are_adjacent(level in 1u8..=12, seed in any::<u64>()) {
+        let n = cells_at_level(level);
+        let d = seed % (n - 1);
+        let (x0, y0) = CurveKind::Hilbert.coords(level, d);
+        let (x1, y1) = CurveKind::Hilbert.coords(level, d + 1);
+        let step = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+        prop_assert_eq!(step, 1);
+    }
+
+    /// A point's cell at level l+1 is a child of its cell at level l,
+    /// for the whole ancestry chain.
+    #[test]
+    fn from_point_is_hierarchical(
+        kind in curve_kind(),
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+        level in 1u8..=20,
+    ) {
+        let p = Point::new(x, y);
+        let fine = CellId::from_point(kind, level, &p);
+        let coarse = CellId::from_point(kind, level - 1, &p);
+        prop_assert_eq!(fine.parent(), Some(coarse));
+        prop_assert!(coarse.contains_cell(&fine));
+        prop_assert!(fine.bounds(kind).contains(&p));
+    }
+
+    /// descendant_range is exactly the set of leaves whose ancestor is the cell.
+    #[test]
+    fn descendant_range_matches_ancestry(
+        level in 0u8..=8,
+        target_extra in 0u8..=4,
+        seed in any::<u64>(),
+    ) {
+        let target = level + target_extra;
+        let idx = seed % cells_at_level(level);
+        let cell = CellId::new(level, idx).unwrap();
+        let (start, end) = cell.descendant_range(target).unwrap();
+        prop_assert_eq!(end - start, cells_at_level(target_extra));
+        // Spot-check the borders.
+        let first = CellId::new(target, start).unwrap();
+        let last = CellId::new(target, end - 1).unwrap();
+        prop_assert_eq!(first.ancestor_at(level), Some(cell));
+        prop_assert_eq!(last.ancestor_at(level), Some(cell));
+    }
+
+    /// Edge neighbourhood is symmetric and all neighbours touch the cell.
+    #[test]
+    fn neighbors_symmetric(kind in curve_kind(), level in 1u8..=10, seed in any::<u64>()) {
+        let idx = seed % cells_at_level(level);
+        let cell = CellId::new(level, idx).unwrap();
+        let b = cell.bounds(kind);
+        for n in cell.edge_neighbors(kind) {
+            prop_assert!(n.edge_neighbors(kind).contains(&cell));
+            // Closed rects of edge-adjacent cells intersect along the shared edge.
+            prop_assert!(n.bounds(kind).intersects(&b));
+            prop_assert_ne!(n, cell);
+        }
+    }
+
+    /// Distance from a point to its own cell is zero; to any other same-level
+    /// cell it is positive or the cells share a boundary.
+    #[test]
+    fn cell_distance_lower_bound(
+        kind in curve_kind(),
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+        level in 1u8..=10,
+        seed in any::<u64>(),
+    ) {
+        let p = Point::new(x, y);
+        let own = CellId::from_point(kind, level, &p);
+        prop_assert_eq!(own.distance_to_point(kind, &p), 0.0);
+        let other = CellId::new(level, seed % cells_at_level(level)).unwrap();
+        // Distance to any cell never exceeds distance to any point in it:
+        // use the centre as a witness.
+        let witness = other.center(kind);
+        prop_assert!(other.distance_to_point(kind, &p) <= p.distance(&witness) + 1e-12);
+    }
+
+    /// cover_rect returns every same-level cell whose interior intersects the
+    /// rect, and nothing else (checked against brute force on small levels).
+    #[test]
+    fn cover_rect_is_exact(
+        kind in curve_kind(),
+        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0,
+        w in 0.0f64..0.5, h in 0.0f64..0.5,
+        level in 1u8..=5,
+    ) {
+        let rect = Rect::new(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0));
+        let got = cover_rect(kind, level, &rect);
+        // Brute force: open-interior intersection test with half-open cells.
+        let side = 1u64 << level;
+        let mut want = vec![];
+        for gx in 0..side {
+            for gy in 0..side {
+                let cell = CellId::new(level, kind.index(level, gx as u32, gy as u32)).unwrap();
+                let b = cell.bounds(kind);
+                // A cell is included when the rect's clamped grid span covers it.
+                let inc_x = rect.min_x < b.max_x && rect.max_x >= b.min_x;
+                let inc_y = rect.min_y < b.max_y && rect.max_y >= b.min_y;
+                if inc_x && inc_y {
+                    want.push(cell);
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// World/unit mapping round-trips inside the world rect.
+    #[test]
+    fn space_roundtrip(x in 0.0f64..1000.0, y in 0.0f64..1000.0) {
+        let s = Space::paper_map();
+        let p = Point::new(x, y);
+        let back = s.to_world(&s.to_unit(&p));
+        prop_assert!((back.x - x).abs() < 1e-6);
+        prop_assert!((back.y - y).abs() < 1e-6);
+    }
+}

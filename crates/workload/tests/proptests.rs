@@ -1,0 +1,95 @@
+//! Property-based tests for the workload generators: determinism, physical
+//! plausibility and the §4.1 contract under arbitrary configurations.
+
+use moist_workload::{
+    QpsTimeline, RoadMap, RoadMapConfig, RoadNetSim, SimConfig, UniformSim,
+};
+use moist_spatial::Rect;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed → identical traces; different seeds diverge (almost surely).
+    #[test]
+    fn roadnet_is_deterministic(seed in any::<u64>(), agents in 5u64..40, horizon in 10.0f64..60.0) {
+        let make = |s: u64| {
+            RoadNetSim::new(
+                RoadMap::new(RoadMapConfig::default()),
+                SimConfig { agents, seed: s, ..SimConfig::default() },
+            )
+        };
+        let a = make(seed).advance_until(horizon);
+        let b = make(seed).advance_until(horizon);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every roadnet update is on-map (up to reporting noise), in time
+    /// order, with per-agent gaps bounded by the max interval.
+    #[test]
+    fn roadnet_updates_obey_the_contract(
+        seed in any::<u64>(),
+        agents in 5u64..30,
+        max_interval in 0.5f64..5.0,
+    ) {
+        let mut sim = RoadNetSim::new(
+            RoadMap::new(RoadMapConfig::default()),
+            SimConfig {
+                agents,
+                seed,
+                max_update_interval_secs: max_interval,
+                location_noise: 0.5,
+                ..SimConfig::default()
+            },
+        );
+        let updates = sim.advance_until(60.0);
+        prop_assert!(updates.windows(2).all(|w| w[0].at_secs <= w[1].at_secs));
+        let noise_slack = 5.0; // ~10σ of reporting noise
+        for u in &updates {
+            prop_assert!(u.loc.x >= -noise_slack && u.loc.x <= 1000.0 + noise_slack);
+            prop_assert!(u.loc.y >= -noise_slack && u.loc.y <= 1000.0 + noise_slack);
+            prop_assert!(u.oid < agents);
+        }
+        // Per-agent inter-update gaps respect the configured bound.
+        for oid in 0..agents {
+            let times: Vec<f64> = updates
+                .iter()
+                .filter(|u| u.oid == oid)
+                .map(|u| u.at_secs)
+                .collect();
+            for w in times.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] <= max_interval + 1e-9,
+                    "agent {oid} waited {} > {max_interval}",
+                    w[1] - w[0]
+                );
+            }
+        }
+    }
+
+    /// Uniform objects never leave the world and every update moves its
+    /// object consistently with its velocity (within bounce effects).
+    #[test]
+    fn uniform_sim_is_physical(seed in any::<u64>(), n in 1u64..50, speed in 0.1f64..5.0) {
+        let world = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let mut sim = UniformSim::new(world, n, speed, 3.0, seed);
+        let ups = sim.next_updates(300);
+        prop_assert!(ups.windows(2).all(|w| w[0].at_secs <= w[1].at_secs));
+        for u in &ups {
+            prop_assert!(world.contains(&u.loc), "escaped at {:?}", u.loc);
+            prop_assert!(u.vel.vx.abs() <= speed + 1e-9 && u.vel.vy.abs() <= speed + 1e-9);
+        }
+    }
+
+    /// QPS timelines conserve events: bucket sums equal the input count.
+    #[test]
+    fn timeline_conserves_events(times in prop::collection::vec(0.0f64..30.0, 0..200)) {
+        let n_ok = times.len();
+        let events: Vec<(f64, bool)> = times.iter().map(|&t| (t, true)).collect();
+        let tl = QpsTimeline::from_events(events);
+        let total: f64 = tl.samples.iter().map(|s| s.qps).sum();
+        prop_assert_eq!(total as usize, n_ok);
+        let failed: f64 = tl.samples.iter().map(|s| s.failed).sum();
+        prop_assert_eq!(failed, 0.0);
+    }
+}
