@@ -86,8 +86,7 @@ impl PlannerInput {
     /// (`n_d² = s_B · n_o / (R_disk · T_0 · k)`).
     pub fn unconstrained_optimum(&self) -> f64 {
         let t0 = self.disk.t_rot + self.disk.t_seek;
-        (self.buffer_bytes * self.objects.max(1) as f64 / (self.disk.rate * t0 * self.k))
-            .sqrt()
+        (self.buffer_bytes * self.objects.max(1) as f64 / (self.disk.rate * t0 * self.k)).sqrt()
     }
 
     /// Runs the optimisation over `1..=max_disks`.

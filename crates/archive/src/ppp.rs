@@ -219,7 +219,12 @@ impl PppArchiver {
     ///
     /// Thanks to object locality only **one** disk is read, and only its
     /// pages whose object index contains `oid`.
-    pub fn query_object(&self, oid: u64, from_us: u64, to_us: u64) -> (Vec<HistoryRecord>, QueryCost) {
+    pub fn query_object(
+        &self,
+        oid: u64,
+        from_us: u64,
+        to_us: u64,
+    ) -> (Vec<HistoryRecord>, QueryCost) {
         let disk_idx = match self.objects.lock().get(&oid) {
             Some(s) => s.disk,
             None => return (Vec::new(), QueryCost::default()),
@@ -231,8 +236,7 @@ impl PppArchiver {
         let pages = self.disks[disk_idx].stats().pages_read;
         // Merge the in-memory window (records not yet aged to disk).
         for r in self.recent_records(oid) {
-            if (from_us..=to_us).contains(&r.ts_us) && !records.iter().any(|x| x.ts_us == r.ts_us)
-            {
+            if (from_us..=to_us).contains(&r.ts_us) && !records.iter().any(|x| x.ts_us == r.ts_us) {
                 records.push(r);
             }
         }
@@ -291,10 +295,7 @@ impl PppArchiver {
             let before = self.disks[d].stats().pages_read;
             let (mut recs, secs) = self.disks[d].read_matching(
                 |p| p.max_ts_us >= from_us && p.min_ts_us <= to_us,
-                |r| {
-                    (from_us..=to_us).contains(&r.ts_us)
-                        && rect.contains(&r.loc)
-                },
+                |r| (from_us..=to_us).contains(&r.ts_us) && rect.contains(&r.loc),
             );
             cost.pages_read += self.disks[d].stats().pages_read - before;
             cost.parallel_secs = cost.parallel_secs.max(secs);
@@ -313,7 +314,9 @@ impl PppArchiver {
             .buffers
             .iter()
             .filter_map(|b| b.lock().min_fill_secs())
-            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))?;
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })?;
         let max_td = self.stats.lock().max_flush_secs;
         Some((min_tm, max_td, min_tm >= max_td))
     }
@@ -365,9 +368,7 @@ mod tests {
         let d2 = a.disk_for_initial_location(&Point::new(11.0, 10.5));
         assert_eq!(d1, d2, "nearby initial locations share a disk");
         let mut seen: Vec<usize> = (0..16)
-            .flat_map(|i| {
-                (0..16).map(move |j| (i as f64 * 62.0 + 1.0, j as f64 * 62.0 + 1.0))
-            })
+            .flat_map(|i| (0..16).map(move |j| (i as f64 * 62.0 + 1.0, j as f64 * 62.0 + 1.0)))
             .map(|(x, y)| a.disk_for_initial_location(&Point::new(x, y)))
             .collect();
         seen.sort_unstable();
@@ -422,11 +423,17 @@ mod tests {
     fn flush_all_persists_partial_columns() {
         let a = PppArchiver::new(space(), config());
         a.ingest(rec(5, 1, 50.0, 50.0), 0); // single record, column not full
-        assert_eq!(a.disk_stats().iter().map(|s| s.pages_written).sum::<u64>(), 0);
+        assert_eq!(
+            a.disk_stats().iter().map(|s| s.pages_written).sum::<u64>(),
+            0
+        );
         a.flush_all();
         let (records, _) = a.query_object(5, 0, 10);
         assert_eq!(records.len(), 1);
-        assert_eq!(a.disk_stats().iter().map(|s| s.pages_written).sum::<u64>(), 1);
+        assert_eq!(
+            a.disk_stats().iter().map(|s| s.pages_written).sum::<u64>(),
+            1
+        );
     }
 
     #[test]

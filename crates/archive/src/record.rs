@@ -22,7 +22,12 @@ pub const RECORD_BYTES: usize = 48;
 impl HistoryRecord {
     /// Creates a record.
     pub fn new(oid: u64, ts_us: u64, loc: Point, vel: Velocity) -> Self {
-        HistoryRecord { oid, ts_us, loc, vel }
+        HistoryRecord {
+            oid,
+            ts_us,
+            loc,
+            vel,
+        }
     }
 
     /// Fixed-width binary encoding (48 bytes: oid, ts, x, y, vx, vy).

@@ -26,9 +26,8 @@ struct Ingest {
 }
 
 fn ingest_strategy(objects: u64) -> impl Strategy<Value = Ingest> {
-    (0..objects, 0.0f64..1000.0, 0.0f64..1000.0, 1u64..2_000_000).prop_map(
-        |(oid, x, y, dt_us)| Ingest { oid, x, y, dt_us },
-    )
+    (0..objects, 0.0f64..1000.0, 0.0f64..1000.0, 1u64..2_000_000)
+        .prop_map(|(oid, x, y, dt_us)| Ingest { oid, x, y, dt_us })
 }
 
 proptest! {

@@ -21,8 +21,8 @@
 //! than substrate differences.
 
 use moist_bigtable::{
-    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, ScanRange,
-    Session, Table, TableSchema, Timestamp,
+    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, ScanRange, Session, Table,
+    TableSchema, Timestamp,
 };
 use moist_spatial::{cover_rect, CellId, Point, Rect, Space, Velocity};
 use std::collections::HashMap;
@@ -163,7 +163,12 @@ impl BxTree {
         s.mutate_row(
             &self.table,
             &key,
-            &[Mutation::put(FAMILY, QUAL, t, Self::encode(loc, vel, label))],
+            &[Mutation::put(
+                FAMILY,
+                QUAL,
+                t,
+                Self::encode(loc, vel, label),
+            )],
         )?;
         Ok(())
     }
@@ -216,16 +221,17 @@ impl BxTree {
             for (start, end) in merge_cell_ranges(&cells, self.cfg.grid_level) {
                 let rows = s.scan(
                     &self.table,
-                    &ScanRange::between(
-                        self.key(partition, start, 0),
-                        self.key(partition, end, 0),
-                    ),
+                    &ScanRange::between(self.key(partition, start, 0), self.key(partition, end, 0)),
                     &ReadOptions::latest_in(FAMILY),
                     None,
                 )?;
                 for row in rows {
-                    let Some(cell) = row.latest(FAMILY, QUAL) else { continue };
-                    let Some((loc, vel, label)) = Self::decode(&cell.value) else { continue };
+                    let Some(cell) = row.latest(FAMILY, QUAL) else {
+                        continue;
+                    };
+                    let Some((loc, vel, label)) = Self::decode(&cell.value) else {
+                        continue;
+                    };
                     // Advance from the *update* position: stored loc is the
                     // true position at update time; key was linearised.
                     let pos = loc.advance(vel, now - cell.ts.as_secs_f64());
@@ -258,18 +264,14 @@ impl BxTree {
         let total = self.current.len() as f64;
         let area = self.space.world.width() * self.space.world.height();
         // Radius expected to contain ~k objects under uniform density.
-        let mut r = (area * k as f64 / (total * std::f64::consts::PI)).sqrt().max(
-            self.space.cell_side_world(self.cfg.grid_level),
-        );
+        let mut r = (area * k as f64 / (total * std::f64::consts::PI))
+            .sqrt()
+            .max(self.space.cell_side_world(self.cfg.grid_level));
         let max_r = self.space.world.width() + self.space.world.height();
         loop {
             let rect = Rect::new(center.x - r, center.y - r, center.x + r, center.y + r);
             let mut found = self.range_query(s, &rect, t)?;
-            found.sort_by(|a, b| {
-                center
-                    .distance(&a.loc)
-                    .total_cmp(&center.distance(&b.loc))
-            });
+            found.sort_by(|a, b| center.distance(&a.loc).total_cmp(&center.distance(&b.loc)));
             // Confirmed when the k-th candidate is within the *inscribed*
             // circle of the query rect (else a nearer object could hide
             // outside the rect corners).
@@ -341,7 +343,10 @@ mod tests {
     fn update_then_range_query_finds_static_objects() {
         let (_st, mut tree, mut s) = setup();
         for i in 0..50u64 {
-            let p = Point::new(10.0 + (i % 10) as f64 * 100.0, 10.0 + (i / 10) as f64 * 100.0);
+            let p = Point::new(
+                10.0 + (i % 10) as f64 * 100.0,
+                10.0 + (i / 10) as f64 * 100.0,
+            );
             tree.update(&mut s, i, &p, &Velocity::ZERO, Timestamp::from_secs(1))
                 .unwrap();
         }
@@ -407,11 +412,11 @@ mod tests {
                 .unwrap();
         }
         let center = Point::new(400.0, 600.0);
-        let got = tree.knn(&mut s, center, 7, Timestamp::from_secs(1)).unwrap();
-        let mut brute: Vec<(u64, f64)> = pts
-            .iter()
-            .map(|&(i, p)| (i, center.distance(&p)))
-            .collect();
+        let got = tree
+            .knn(&mut s, center, 7, Timestamp::from_secs(1))
+            .unwrap();
+        let mut brute: Vec<(u64, f64)> =
+            pts.iter().map(|&(i, p)| (i, center.distance(&p))).collect();
         brute.sort_by(|a, b| a.1.total_cmp(&b.1));
         let want: Vec<u64> = brute[..7].iter().map(|&(i, _)| i).collect();
         let got_ids: Vec<u64> = got.iter().map(|e| e.oid).collect();
@@ -421,10 +426,22 @@ mod tests {
     #[test]
     fn update_replaces_the_old_entry() {
         let (_st, mut tree, mut s) = setup();
-        tree.update(&mut s, 1, &Point::new(100.0, 100.0), &Velocity::ZERO, Timestamp::from_secs(0))
-            .unwrap();
-        tree.update(&mut s, 1, &Point::new(900.0, 900.0), &Velocity::ZERO, Timestamp::from_secs(1))
-            .unwrap();
+        tree.update(
+            &mut s,
+            1,
+            &Point::new(100.0, 100.0),
+            &Velocity::ZERO,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
+        tree.update(
+            &mut s,
+            1,
+            &Point::new(900.0, 900.0),
+            &Velocity::ZERO,
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
         let everywhere = tree
             .range_query(
                 &mut s,
@@ -446,8 +463,14 @@ mod tests {
             .knn(&mut s, Point::new(1.0, 1.0), 3, Timestamp::ZERO)
             .unwrap()
             .is_empty());
-        tree.update(&mut s, 1, &Point::new(5.0, 5.0), &Velocity::ZERO, Timestamp::ZERO)
-            .unwrap();
+        tree.update(
+            &mut s,
+            1,
+            &Point::new(5.0, 5.0),
+            &Velocity::ZERO,
+            Timestamp::ZERO,
+        )
+        .unwrap();
         assert!(tree
             .knn(&mut s, Point::new(1.0, 1.0), 0, Timestamp::ZERO)
             .unwrap()
@@ -467,7 +490,9 @@ mod tests {
             )
             .unwrap();
         }
-        let got = tree.knn(&mut s, Point::new(0.0, 500.0), 10, Timestamp::ZERO).unwrap();
+        let got = tree
+            .knn(&mut s, Point::new(0.0, 500.0), 10, Timestamp::ZERO)
+            .unwrap();
         assert_eq!(got.len(), 3);
     }
 }

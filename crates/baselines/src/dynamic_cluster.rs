@@ -97,11 +97,19 @@ impl DynamicClusterIndex {
     }
 
     fn read_cluster(&self, s: &mut Session, cid: u64) -> Result<Option<ClusterState>> {
-        Ok(s.get_latest(&self.table, &RowKey::from_u64(cid), FAMILY, QUAL)?
-            .and_then(|c| Self::decode(&c.value)))
+        Ok(
+            s.get_latest(&self.table, &RowKey::from_u64(cid), FAMILY, QUAL)?
+                .and_then(|c| Self::decode(&c.value)),
+        )
     }
 
-    fn write_cluster(&mut self, s: &mut Session, cid: u64, state: &ClusterState, t: Timestamp) -> Result<()> {
+    fn write_cluster(
+        &mut self,
+        s: &mut Session,
+        cid: u64,
+        state: &ClusterState,
+        t: Timestamp,
+    ) -> Result<()> {
         s.mutate_row(
             &self.table,
             &RowKey::from_u64(cid),
@@ -111,7 +119,13 @@ impl DynamicClusterIndex {
         Ok(())
     }
 
-    fn new_cluster(&mut self, s: &mut Session, loc: &Point, vel: &Velocity, t: Timestamp) -> Result<u64> {
+    fn new_cluster(
+        &mut self,
+        s: &mut Session,
+        loc: &Point,
+        vel: &Velocity,
+        t: Timestamp,
+    ) -> Result<u64> {
         let cid = self.next_cluster;
         self.next_cluster += 1;
         let state = ClusterState {
@@ -184,7 +198,12 @@ impl DynamicClusterIndex {
     /// the radius and whose velocities are similar. Reads **every** cluster
     /// record and sorts — the `O(n log n)` sweep of \[16\]/\[18\].
     pub fn recluster(&mut self, s: &mut Session, t: Timestamp, delta_v: f64) -> Result<usize> {
-        let rows = s.scan(&self.table, &ScanRange::all(), &ReadOptions::latest_in(FAMILY), None)?;
+        let rows = s.scan(
+            &self.table,
+            &ScanRange::all(),
+            &ReadOptions::latest_in(FAMILY),
+            None,
+        )?;
         let now = t.as_secs_f64();
         let mut clusters: Vec<(u64, ClusterState)> = rows
             .iter()
@@ -232,7 +251,11 @@ impl DynamicClusterIndex {
                 surv.members += extra;
                 self.write_cluster(s, survivor, &surv, t)?;
             }
-            s.mutate_row(&self.table, &RowKey::from_u64(absorbed), &[Mutation::DeleteRow])?;
+            s.mutate_row(
+                &self.table,
+                &RowKey::from_u64(absorbed),
+                &[Mutation::DeleteRow],
+            )?;
             for cid in self.membership.values_mut() {
                 if *cid == absorbed {
                     *cid = survivor;
@@ -271,8 +294,14 @@ mod tests {
         let (_st, mut idx, mut s) = setup(50.0);
         let v = Velocity::new(1.0, 0.0);
         for t in 0..10u64 {
-            idx.update(&mut s, 1, &Point::new(t as f64, 0.0), &v, Timestamp::from_secs(t))
-                .unwrap();
+            idx.update(
+                &mut s,
+                1,
+                &Point::new(t as f64, 0.0),
+                &v,
+                Timestamp::from_secs(t),
+            )
+            .unwrap();
         }
         let st = idx.stats();
         assert_eq!(st.updates, 10);
@@ -284,9 +313,23 @@ mod tests {
     fn straying_member_departs_into_its_own_cluster() {
         let (_st, mut idx, mut s) = setup(10.0);
         let v = Velocity::new(1.0, 0.0);
-        idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap();
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(0.0, 0.0),
+            &v,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
         // Far from the predicted centre → departure.
-        idx.update(&mut s, 1, &Point::new(500.0, 0.0), &v, Timestamp::from_secs(1)).unwrap();
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(500.0, 0.0),
+            &v,
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
         assert_eq!(idx.stats().departures, 1);
         assert_eq!(idx.cluster_count(), 2);
     }
@@ -296,16 +339,44 @@ mod tests {
         let (_st, mut idx, mut s) = setup(20.0);
         let v = Velocity::new(1.0, 0.0);
         // Three objects forming three singleton clusters, two of them close.
-        idx.update(&mut s, 1, &Point::new(100.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
-        idx.update(&mut s, 2, &Point::new(105.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
-        idx.update(&mut s, 3, &Point::new(800.0, 800.0), &v, Timestamp::from_secs(0)).unwrap();
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(100.0, 100.0),
+            &v,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
+        idx.update(
+            &mut s,
+            2,
+            &Point::new(105.0, 100.0),
+            &v,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
+        idx.update(
+            &mut s,
+            3,
+            &Point::new(800.0, 800.0),
+            &v,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
         assert_eq!(idx.cluster_count(), 3);
         let merged = idx.recluster(&mut s, Timestamp::from_secs(0), 0.5).unwrap();
         assert_eq!(merged, 1);
         assert_eq!(idx.cluster_count(), 2);
         // Members of the absorbed cluster were remapped: next update of
         // object 2 adjusts the surviving cluster rather than a dead row.
-        idx.update(&mut s, 2, &Point::new(106.0, 100.0), &v, Timestamp::from_secs(1)).unwrap();
+        idx.update(
+            &mut s,
+            2,
+            &Point::new(106.0, 100.0),
+            &v,
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
         assert_eq!(idx.stats().departures, 0);
         assert_eq!(idx.cluster_count(), 2);
     }
@@ -313,10 +384,22 @@ mod tests {
     #[test]
     fn velocity_gate_blocks_merging_opposite_movers() {
         let (_st, mut idx, mut s) = setup(20.0);
-        idx.update(&mut s, 1, &Point::new(100.0, 100.0), &Velocity::new(1.0, 0.0), Timestamp::from_secs(0))
-            .unwrap();
-        idx.update(&mut s, 2, &Point::new(105.0, 100.0), &Velocity::new(-1.0, 0.0), Timestamp::from_secs(0))
-            .unwrap();
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(100.0, 100.0),
+            &Velocity::new(1.0, 0.0),
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
+        idx.update(
+            &mut s,
+            2,
+            &Point::new(105.0, 100.0),
+            &Velocity::new(-1.0, 0.0),
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
         let merged = idx.recluster(&mut s, Timestamp::from_secs(0), 0.5).unwrap();
         assert_eq!(merged, 0, "opposite velocities must not merge");
     }

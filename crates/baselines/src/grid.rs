@@ -7,8 +7,8 @@
 //! it bounds the best any non-shedding indexer can do on the same store.
 
 use moist_bigtable::{
-    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, RowMutation, ScanRange,
-    Session, Table, TableSchema, Timestamp,
+    Bigtable, ColumnFamily, Mutation, ReadOptions, Result, RowKey, RowMutation, ScanRange, Session,
+    Table, TableSchema, Timestamp,
 };
 use moist_spatial::{Point, Space};
 use std::collections::HashMap;
@@ -70,8 +70,7 @@ impl GridIndex {
         );
         match self.last_leaf.insert(oid, leaf) {
             Some(old) if old != leaf => {
-                let del =
-                    RowMutation::new(RowKey::composite(old, oid), vec![Mutation::DeleteRow]);
+                let del = RowMutation::new(RowKey::composite(old, oid), vec![Mutation::DeleteRow]);
                 s.mutate_rows(&self.table, &[del, put])?;
             }
             _ => {
@@ -90,7 +89,10 @@ impl GridIndex {
     ) -> Result<Vec<(u64, Point)>> {
         let rows = s.scan(
             &self.table,
-            &ScanRange::between(RowKey::composite(start_leaf, 0), RowKey::composite(end_leaf, 0)),
+            &ScanRange::between(
+                RowKey::composite(start_leaf, 0),
+                RowKey::composite(end_leaf, 0),
+            ),
             &ReadOptions::latest_in(FAMILY),
             None,
         )?;
@@ -126,8 +128,10 @@ mod tests {
         let space = Space::paper_map();
         let mut g = GridIndex::new(&store, space, "grid").unwrap();
         let mut s = store.session_with(CostProfile::free());
-        g.update(&mut s, 1, &Point::new(100.0, 100.0), Timestamp(0)).unwrap();
-        g.update(&mut s, 1, &Point::new(900.0, 900.0), Timestamp(1)).unwrap();
+        g.update(&mut s, 1, &Point::new(100.0, 100.0), Timestamp(0))
+            .unwrap();
+        g.update(&mut s, 1, &Point::new(900.0, 900.0), Timestamp(1))
+            .unwrap();
         let all = g.scan_range(&mut s, 0, u64::MAX >> 8).unwrap();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].1, Point::new(900.0, 900.0));
@@ -140,7 +144,8 @@ mod tests {
         let space = Space::paper_map();
         let mut a = GridIndex::new(&store, space, "grid").unwrap();
         let mut s = store.session_with(CostProfile::free());
-        a.update(&mut s, 5, &Point::new(10.0, 10.0), Timestamp(0)).unwrap();
+        a.update(&mut s, 5, &Point::new(10.0, 10.0), Timestamp(0))
+            .unwrap();
         let b = GridIndex::new(&store, space, "grid").unwrap();
         let seen = b.scan_range(&mut s, 0, u64::MAX >> 8).unwrap();
         assert_eq!(seen.len(), 1);

@@ -237,12 +237,21 @@ mod tests {
         let (_st, mut idx, mut s) = setup(5.0);
         let v = Velocity::new(2.0, 0.0);
         // First update transmits (initialisation).
-        assert!(!idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap());
+        assert!(!idx
+            .update(
+                &mut s,
+                1,
+                &Point::new(0.0, 0.0),
+                &v,
+                Timestamp::from_secs(0)
+            )
+            .unwrap());
         // Constant-velocity motion matches the prediction exactly: all shed.
         for t in 1..=10u64 {
             let p = Point::new(2.0 * t as f64, 0.0);
             assert!(
-                idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap(),
+                idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t))
+                    .unwrap(),
                 "update at t={t} should be shed"
             );
         }
@@ -256,36 +265,69 @@ mod tests {
     fn sharp_turns_force_transmission_then_recovery() {
         let (_st, mut idx, mut s) = setup(3.0);
         let east = Velocity::new(2.0, 0.0);
-        idx.update(&mut s, 1, &Point::new(0.0, 0.0), &east, Timestamp::from_secs(0)).unwrap();
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(0.0, 0.0),
+            &east,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
         for t in 1..=5u64 {
-            idx.update(&mut s, 1, &Point::new(2.0 * t as f64, 0.0), &east, Timestamp::from_secs(t))
-                .unwrap();
+            idx.update(
+                &mut s,
+                1,
+                &Point::new(2.0 * t as f64, 0.0),
+                &east,
+                Timestamp::from_secs(t),
+            )
+            .unwrap();
         }
         // 90° turn: the next few fixes deviate and must transmit.
         let north = Velocity::new(0.0, 2.0);
         let shed_on_turn = idx
-            .update(&mut s, 1, &Point::new(10.0, 8.0), &north, Timestamp::from_secs(9))
+            .update(
+                &mut s,
+                1,
+                &Point::new(10.0, 8.0),
+                &north,
+                Timestamp::from_secs(9),
+            )
             .unwrap();
         assert!(!shed_on_turn, "a sharp turn must transmit");
         // After the correction, northbound motion is shed again.
         let mut shed_count = 0;
         for t in 10..=15u64 {
             let p = Point::new(10.0, 8.0 + 2.0 * (t - 9) as f64);
-            if idx.update(&mut s, 1, &p, &north, Timestamp::from_secs(t)).unwrap() {
+            if idx
+                .update(&mut s, 1, &p, &north, Timestamp::from_secs(t))
+                .unwrap()
+            {
                 shed_count += 1;
             }
         }
-        assert!(shed_count >= 4, "filter must re-lock after the turn: {shed_count}");
+        assert!(
+            shed_count >= 4,
+            "filter must re-lock after the turn: {shed_count}"
+        );
     }
 
     #[test]
     fn server_position_tracks_within_epsilon_on_shed_stretches() {
         let (_st, mut idx, mut s) = setup(4.0);
         let v = Velocity::new(1.5, -0.5);
-        idx.update(&mut s, 7, &Point::new(100.0, 100.0), &v, Timestamp::from_secs(0)).unwrap();
+        idx.update(
+            &mut s,
+            7,
+            &Point::new(100.0, 100.0),
+            &v,
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
         for t in 1..=8u64 {
             let truth = Point::new(100.0 + 1.5 * t as f64, 100.0 - 0.5 * t as f64);
-            idx.update(&mut s, 7, &truth, &v, Timestamp::from_secs(t)).unwrap();
+            idx.update(&mut s, 7, &truth, &v, Timestamp::from_secs(t))
+                .unwrap();
             let est = idx.position(7, Timestamp::from_secs(t)).unwrap();
             assert!(
                 est.distance(&truth) <= 4.0 + 1e-9,
@@ -303,7 +345,8 @@ mod tests {
             // Alternating noise breaks exact prediction at ε = 0.
             let noise = if t % 2 == 0 { 0.001 } else { -0.001 };
             let p = Point::new(t as f64 + noise, 0.0);
-            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap();
+            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t))
+                .unwrap();
         }
         assert_eq!(idx.stats().shed, 0);
         assert_eq!(idx.stats().transmitted, 5);

@@ -26,8 +26,8 @@
 
 pub mod bxtree;
 pub mod dynamic_cluster;
-pub mod kalman;
 pub mod grid;
+pub mod kalman;
 pub mod static_cluster;
 
 pub use bxtree::{BxConfig, BxEntry, BxTree};

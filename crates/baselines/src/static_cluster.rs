@@ -142,7 +142,12 @@ impl StaticClusterIndex {
         s.mutate_row(
             &self.table,
             &key,
-            &[Mutation::put(FAMILY, QUAL, t, Self::encode(loc, proto_idx, t.as_secs_f64()))],
+            &[Mutation::put(
+                FAMILY,
+                QUAL,
+                t,
+                Self::encode(loc, proto_idx, t.as_secs_f64()),
+            )],
         )?;
         self.stats.reclassified += 1;
         Ok(false)
@@ -193,16 +198,32 @@ mod tests {
         let (_st, mut idx, mut s) = setup(5.0);
         let v = Velocity::new(1.0, 0.0);
         // First update classifies (write).
-        assert!(!idx.update(&mut s, 1, &Point::new(0.0, 0.0), &v, Timestamp::from_secs(0)).unwrap());
+        assert!(!idx
+            .update(
+                &mut s,
+                1,
+                &Point::new(0.0, 0.0),
+                &v,
+                Timestamp::from_secs(0)
+            )
+            .unwrap());
         // Straight-line motion matching the east prototype: shed.
         for t in 1..=5u64 {
             let p = Point::new(t as f64, 0.0);
-            assert!(idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap());
+            assert!(idx
+                .update(&mut s, 1, &p, &v, Timestamp::from_secs(t))
+                .unwrap());
         }
         // A 90° turn breaks the model → reclassify.
         let turned = Point::new(5.0, 30.0);
         assert!(!idx
-            .update(&mut s, 1, &turned, &Velocity::new(0.0, 1.0), Timestamp::from_secs(6))
+            .update(
+                &mut s,
+                1,
+                &turned,
+                &Velocity::new(0.0, 1.0),
+                Timestamp::from_secs(6)
+            )
             .unwrap());
         let st = idx.stats();
         assert_eq!(st.updates, 7);
@@ -213,9 +234,18 @@ mod tests {
     #[test]
     fn position_follows_the_prototype_model() {
         let (_st, mut idx, mut s) = setup(5.0);
-        idx.update(&mut s, 1, &Point::new(10.0, 10.0), &Velocity::new(1.0, 0.0), Timestamp::from_secs(0))
+        idx.update(
+            &mut s,
+            1,
+            &Point::new(10.0, 10.0),
+            &Velocity::new(1.0, 0.0),
+            Timestamp::from_secs(0),
+        )
+        .unwrap();
+        let p = idx
+            .position(&mut s, 1, Timestamp::from_secs(4))
+            .unwrap()
             .unwrap();
-        let p = idx.position(&mut s, 1, Timestamp::from_secs(4)).unwrap().unwrap();
         assert!((p.x - 14.0).abs() < 1e-9);
         assert!(idx.position(&mut s, 9, Timestamp::ZERO).unwrap().is_none());
     }
@@ -228,7 +258,8 @@ mod tests {
         let v = Velocity::new(1.5, 0.0);
         for t in 0..=20u64 {
             let p = Point::new(1.5 * t as f64, 0.0);
-            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t)).unwrap();
+            idx.update(&mut s, 1, &p, &v, Timestamp::from_secs(t))
+                .unwrap();
         }
         let st = idx.stats();
         assert!(st.reclassified >= 4, "drift must force rewrites: {st:?}");

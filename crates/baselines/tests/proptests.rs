@@ -1,9 +1,7 @@
 //! Property-based tests for the comparator indexes: Bx-tree queries against
 //! a brute-force oracle, and shedding-baseline accounting invariants.
 
-use moist_baselines::{
-    BxConfig, BxTree, DynamicClusterIndex, KalmanIndex, StaticClusterIndex,
-};
+use moist_baselines::{BxConfig, BxTree, DynamicClusterIndex, KalmanIndex, StaticClusterIndex};
 use moist_bigtable::{Bigtable, CostProfile, Timestamp};
 use moist_spatial::{Point, Rect, Space, Velocity};
 use proptest::prelude::*;
@@ -25,7 +23,13 @@ fn objects(n: usize) -> impl Strategy<Value = Vec<Obj>> {
     .prop_map(|v| {
         v.into_iter()
             .enumerate()
-            .map(|(i, (x, y, vx, vy))| Obj { oid: i as u64, x, y, vx, vy })
+            .map(|(i, (x, y, vx, vy))| Obj {
+                oid: i as u64,
+                x,
+                y,
+                vx,
+                vy,
+            })
             .collect()
     })
 }

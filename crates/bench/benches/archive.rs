@@ -65,7 +65,12 @@ fn bench_history_queries(c: &mut Criterion) {
         let mut x = 0.0f64;
         b.iter(|| {
             x = (x + 119.0) % 800.0;
-            black_box(archiver.query_region(&Rect::new(x, x, x + 100.0, x + 100.0), 0, u64::MAX, 0.0))
+            black_box(archiver.query_region(
+                &Rect::new(x, x, x + 100.0, x + 100.0),
+                0,
+                u64::MAX,
+                0.0,
+            ))
         })
     });
     group.finish();

@@ -47,8 +47,13 @@ fn bench_bxtree(c: &mut Criterion) {
         b.iter(|| {
             x = (x + 131.0) % 1000.0;
             black_box(
-                tree.knn(&mut session, Point::new(x, 1000.0 - x), 10, Timestamp::from_secs(2))
-                    .unwrap(),
+                tree.knn(
+                    &mut session,
+                    Point::new(x, 1000.0 - x),
+                    10,
+                    Timestamp::from_secs(2),
+                )
+                .unwrap(),
             )
         })
     });

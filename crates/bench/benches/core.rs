@@ -3,9 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use moist::bigtable::{Bigtable, Timestamp};
-use moist::core::{
-    HexGrid, MoistConfig, MoistServer, NnOptions, ObjectId, UpdateMessage,
-};
+use moist::core::{HexGrid, MoistConfig, MoistServer, NnOptions, ObjectId, UpdateMessage};
 use moist::spatial::{Point, Velocity};
 
 fn loaded_server(n: u64, epsilon: f64) -> MoistServer {
@@ -145,5 +143,11 @@ fn bench_hexgrid(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_update_paths, bench_nn, bench_clustering, bench_hexgrid);
+criterion_group!(
+    benches,
+    bench_update_paths,
+    bench_nn,
+    bench_clustering,
+    bench_hexgrid
+);
 criterion_main!(benches);

@@ -7,7 +7,12 @@ use moist::bigtable::{
     Timestamp,
 };
 
-fn setup(rows: u64) -> (std::sync::Arc<Bigtable>, std::sync::Arc<moist::bigtable::Table>) {
+fn setup(
+    rows: u64,
+) -> (
+    std::sync::Arc<Bigtable>,
+    std::sync::Arc<moist::bigtable::Table>,
+) {
     let store = Bigtable::new();
     let table = store
         .create_table(TableSchema::new("t", vec![ColumnFamily::in_memory("f", 1)]).unwrap())
@@ -85,7 +90,9 @@ fn bench_batches(c: &mut Criterion) {
         let mut base = 0u64;
         b.iter(|| {
             base = (base + 463) % 99_000;
-            let keys: Vec<RowKey> = (0..64u64).map(|i| RowKey::from_u64(base + i * 13)).collect();
+            let keys: Vec<RowKey> = (0..64u64)
+                .map(|i| RowKey::from_u64(base + i * 13))
+                .collect();
             black_box(table.batch_get(&keys, &ReadOptions::latest()).unwrap())
         })
     });

@@ -106,7 +106,8 @@ fn fig_b() {
     let mut oses = Series::new("avg #OS");
     let mut shed = Series::new("shed ratio x100");
     for n in [100u64, 200, 400, 600, 800, 1000] {
-        let (samples, shed_ratio) = run(n, 0.5, MoistConfig::default().epsilon, 120.0, 30.0, 5.0, 42);
+        let (samples, shed_ratio) =
+            run(n, 0.5, MoistConfig::default().epsilon, 120.0, 30.0, 5.0, 42);
         oses.push(n as f64, avg_os(&samples));
         shed.push(n as f64, shed_ratio * 100.0);
     }
@@ -124,7 +125,15 @@ fn fig_c() {
         "#OS",
     );
     let mut series = Series::new("#OS");
-    let (samples, _) = run(100, 0.5, MoistConfig::default().epsilon, 120.0, 0.0, 2.0, 42);
+    let (samples, _) = run(
+        100,
+        0.5,
+        MoistConfig::default().epsilon,
+        120.0,
+        0.0,
+        2.0,
+        42,
+    );
     for (t, n) in &samples {
         series.push(*t, *n as f64);
     }
@@ -136,8 +145,8 @@ fn fig_c() {
         .map(|&(_, n)| n as f64)
         .collect();
     let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
-    let var = steady.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / steady.len().max(1) as f64;
+    let var =
+        steady.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / steady.len().max(1) as f64;
     fig.add(series);
     fig.print();
     println!("steady-state mean #OS = {mean:.1}, variance = {var:.1}");

@@ -18,7 +18,15 @@ use moist_bench::{Figure, Series};
 /// Builds a store holding `pre` leaders inside one clustering cell whose
 /// velocities fall into exactly `post` distinct hexagon bins. Returns the
 /// tables and the cell.
-fn build(pre: usize, post: usize, cfg: &MoistConfig) -> (std::sync::Arc<Bigtable>, MoistTables, moist::spatial::CellId) {
+fn build(
+    pre: usize,
+    post: usize,
+    cfg: &MoistConfig,
+) -> (
+    std::sync::Arc<Bigtable>,
+    MoistTables,
+    moist::spatial::CellId,
+) {
     let store = Bigtable::new();
     let tables = MoistTables::create(&store, cfg).expect("tables");
     // Free session: setup must not pollute the measured costs.
@@ -35,12 +43,7 @@ fn build(pre: usize, post: usize, cfg: &MoistConfig) -> (std::sync::Arc<Bigtable
     // `post` well-separated velocity prototypes (spacing 4·Δm ≫ bin size).
     let spacing = cfg.delta_m * 4.0;
     let side = (post as f64).sqrt().ceil() as usize;
-    let proto = |g: usize| {
-        Velocity::new(
-            (g % side) as f64 * spacing,
-            (g / side) as f64 * spacing,
-        )
-    };
+    let proto = |g: usize| Velocity::new((g % side) as f64 * spacing, (g / side) as f64 * spacing);
     let mut state = 0x0123_4567_89AB_CDEFu64;
     let mut rnd = move || {
         state ^= state << 13;
@@ -56,12 +59,26 @@ fn build(pre: usize, post: usize, cfg: &MoistConfig) -> (std::sync::Arc<Bigtable
         );
         let vel = proto(i % post);
         let leaf = cfg.space.leaf_cell(&loc).index;
-        let rec = LocationRecord { loc, vel, leaf_index: leaf };
+        let rec = LocationRecord {
+            loc,
+            vel,
+            leaf_index: leaf,
+        };
         let oid = ObjectId(i as u64);
         tables.put_location(&mut s, oid, &rec, ts).expect("loc");
-        tables.spatial_insert(&mut s, leaf, oid, &rec, ts).expect("spatial");
         tables
-            .set_lf(&mut s, oid, &LfRecord::Leader { since_us: ts.0, last_leaf: leaf }, ts)
+            .spatial_insert(&mut s, leaf, oid, &rec, ts)
+            .expect("spatial");
+        tables
+            .set_lf(
+                &mut s,
+                oid,
+                &LfRecord::Leader {
+                    since_us: ts.0,
+                    last_leaf: leaf,
+                },
+                ts,
+            )
             .expect("lf");
     }
     (store, tables, cell)
@@ -112,7 +129,13 @@ fn main() {
             "fig10a",
             "Clustering latency vs #pre-clustering leaders (post fixed at 1k)",
             "pre-clustering leaders",
-            &[(2_000, 1_000), (4_000, 1_000), (6_000, 1_000), (8_000, 1_000), (10_000, 1_000)],
+            &[
+                (2_000, 1_000),
+                (4_000, 1_000),
+                (6_000, 1_000),
+                (8_000, 1_000),
+                (10_000, 1_000),
+            ],
         );
     }
     if arg == "b" || arg == "all" {
@@ -120,7 +143,13 @@ fn main() {
             "fig10b",
             "Clustering latency vs #post-clustering leaders (pre fixed at 10k)",
             "post-clustering leaders",
-            &[(10_000, 1_000), (10_000, 2_000), (10_000, 4_000), (10_000, 6_000), (10_000, 8_000)],
+            &[
+                (10_000, 1_000),
+                (10_000, 2_000),
+                (10_000, 4_000),
+                (10_000, 6_000),
+                (10_000, 8_000),
+            ],
         );
     }
 }

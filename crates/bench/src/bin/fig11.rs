@@ -36,7 +36,11 @@ fn load(n: usize, cfg: &MoistConfig) -> (std::sync::Arc<Bigtable>, MoistTables) 
         let loc = Point::new(rnd() * 1000.0, rnd() * 1000.0);
         let vel = Velocity::new(rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0);
         let leaf = cfg.space.leaf_cell(&loc).index;
-        let rec = LocationRecord { loc, vel, leaf_index: leaf };
+        let rec = LocationRecord {
+            loc,
+            vel,
+            leaf_index: leaf,
+        };
         tables
             .spatial_insert(&mut s, leaf, ObjectId(i as u64), &rec, ts)
             .expect("insert");
@@ -44,7 +48,10 @@ fn load(n: usize, cfg: &MoistConfig) -> (std::sync::Arc<Bigtable>, MoistTables) 
             .set_lf(
                 &mut s,
                 ObjectId(i as u64),
-                &LfRecord::Leader { since_us: 0, last_leaf: leaf },
+                &LfRecord::Leader {
+                    since_us: 0,
+                    last_leaf: leaf,
+                },
                 ts,
             )
             .expect("lf");
@@ -91,7 +98,10 @@ fn measure_cluster_cost_us(pre: usize, cfg: &MoistConfig) -> f64 {
     let mut s = store.session();
     let mut total = 0.0;
     for index in 0..moist::spatial::cells_at_level(cfg.clustering_level) {
-        let cell = moist::spatial::CellId { level: cfg.clustering_level, index };
+        let cell = moist::spatial::CellId {
+            level: cfg.clustering_level,
+            index,
+        };
         let r = cluster_cell(&mut s, &tables, cfg, cell, Timestamp::from_secs(2)).expect("cluster");
         total += r.total_us();
     }

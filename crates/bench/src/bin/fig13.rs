@@ -33,7 +33,11 @@ fn bulk_load(n: u64, cfg: &MoistConfig) -> Arc<Bigtable> {
     let ts = Timestamp::from_secs(1);
     for (oid, loc, vel) in sim.positions() {
         let leaf = cfg.space.leaf_cell(&loc).index;
-        let rec = LocationRecord { loc, vel, leaf_index: leaf };
+        let rec = LocationRecord {
+            loc,
+            vel,
+            leaf_index: leaf,
+        };
         tables
             .put_location(&mut s, ObjectId(oid), &rec, ts)
             .expect("loc");
@@ -44,7 +48,10 @@ fn bulk_load(n: u64, cfg: &MoistConfig) -> Arc<Bigtable> {
             .set_lf(
                 &mut s,
                 ObjectId(oid),
-                &LfRecord::Leader { since_us: ts.0, last_leaf: leaf },
+                &LfRecord::Leader {
+                    since_us: ts.0,
+                    last_leaf: leaf,
+                },
                 ts,
             )
             .expect("lf");
@@ -104,7 +111,8 @@ fn multi(servers: usize, horizon_secs: u64, fig_id: &str) {
     let per_server: Vec<Vec<f64>> = ClientPool::run(servers, |i| {
         let mut server = MoistServer::new(&store, cfg).expect("server");
         let world = Rect::new(0.0, 0.0, 1000.0, 1000.0);
-        let mut sim = UniformSim::new(world, population, 2.0, 5.0, 1000 + i as u64).with_velocity_walk(0.5);
+        let mut sim =
+            UniformSim::new(world, population, 2.0, 5.0, 1000 + i as u64).with_velocity_walk(0.5);
         let mut buckets = vec![0.0f64; horizon_secs as usize];
         'outer: loop {
             for u in sim.next_updates(2048) {

@@ -29,7 +29,12 @@ fn moist_update_qps(n: u64) -> f64 {
     // Register everyone (charged, then reset).
     for (oid, loc, vel) in sim.positions() {
         server
-            .update(&UpdateMessage { oid: ObjectId(oid), loc, vel, ts: Timestamp::from_secs(1) })
+            .update(&UpdateMessage {
+                oid: ObjectId(oid),
+                loc,
+                vel,
+                ts: Timestamp::from_secs(1),
+            })
             .expect("register");
     }
     server.session_mut().reset();
@@ -52,7 +57,10 @@ fn bx_update_qps(n: u64) -> f64 {
     let mut tree = BxTree::new(
         &store,
         Space::paper_map(),
-        BxConfig { v_max: 3.0, ..BxConfig::default() },
+        BxConfig {
+            v_max: 3.0,
+            ..BxConfig::default()
+        },
         "bx_headline",
     )
     .expect("bxtree");
@@ -91,7 +99,11 @@ fn shed_ratio() -> f64 {
     let mut server = MoistServer::new(&store, cfg).expect("server");
     let mut sim = RoadNetSim::new(
         RoadMap::new(RoadMapConfig::default()),
-        SimConfig { agents: 1000, seed: 77, ..SimConfig::default() },
+        SimConfig {
+            agents: 1000,
+            seed: 77,
+            ..SimConfig::default()
+        },
     );
     let mut t = 0.0;
     while t < 240.0 {
@@ -141,9 +153,21 @@ fn main() {
     println!("  [1] Bx-tree single server:            {bx_qps:>10.0} updates/s");
     println!("  [2] MOIST single server (no school):  {moist_qps:>10.0} updates/s");
     println!("  [3] MOIST 10 servers (store-limited): {ten_server_store_qps:>10.0} updates/s");
-    println!("  [4] + schooling shed ratio {:>5.1}%  ->  {effective_qps:>10.0} client updates/s", shed * 100.0);
+    println!(
+        "  [4] + schooling shed ratio {:>5.1}%  ->  {effective_qps:>10.0} client updates/s",
+        shed * 100.0
+    );
     println!("----------------------------------------------------");
-    println!("  MOIST single vs Bx:       {:>6.1}x   (paper: ~2x, 8k vs 3k)", moist_qps / bx_qps);
-    println!("  10 servers vs single:     {:>6.1}x   (paper: near-linear, store-capped)", ten_server_store_qps / moist_qps);
-    println!("  effective vs Bx:          {:>6.1}x   (paper: 'nearly 80x')", effective_qps / bx_qps);
+    println!(
+        "  MOIST single vs Bx:       {:>6.1}x   (paper: ~2x, 8k vs 3k)",
+        moist_qps / bx_qps
+    );
+    println!(
+        "  10 servers vs single:     {:>6.1}x   (paper: near-linear, store-capped)",
+        ten_server_store_qps / moist_qps
+    );
+    println!(
+        "  effective vs Bx:          {:>6.1}x   (paper: 'nearly 80x')",
+        effective_qps / bx_qps
+    );
 }

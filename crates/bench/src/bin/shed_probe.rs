@@ -7,32 +7,51 @@ fn main() {
     let trace: Vec<_> = {
         let mut sim = RoadNetSim::new(
             RoadMap::new(RoadMapConfig::default()),
-            SimConfig { agents: 1000, seed: 77, location_noise: 0.1, velocity_noise: 0.01, ..SimConfig::default() },
+            SimConfig {
+                agents: 1000,
+                seed: 77,
+                location_noise: 0.1,
+                velocity_noise: 0.01,
+                ..SimConfig::default()
+            },
         );
         sim.advance_until(240.0)
     };
     println!("trace: {} updates", trace.len());
     for eps in [15.0, 25.0, 50.0] {
-        for dm in [1.0, 2.0] { for cl in [1u8, 2, 3] {
-            let store = Bigtable::new();
-            let cfg = MoistConfig { epsilon: eps, delta_m: dm, clustering_level: cl, ..MoistConfig::default() };
-            let mut server = MoistServer::new(&store, cfg).unwrap();
-            let mut next_cluster = 10.0;
-            for u in &trace {
-                if u.at_secs >= next_cluster {
-                    server.run_due_clustering(Timestamp::from_secs_f64(u.at_secs)).unwrap();
-                    next_cluster += 10.0;
+        for dm in [1.0, 2.0] {
+            for cl in [1u8, 2, 3] {
+                let store = Bigtable::new();
+                let cfg = MoistConfig {
+                    epsilon: eps,
+                    delta_m: dm,
+                    clustering_level: cl,
+                    ..MoistConfig::default()
+                };
+                let mut server = MoistServer::new(&store, cfg).unwrap();
+                let mut next_cluster = 10.0;
+                for u in &trace {
+                    if u.at_secs >= next_cluster {
+                        server
+                            .run_due_clustering(Timestamp::from_secs_f64(u.at_secs))
+                            .unwrap();
+                        next_cluster += 10.0;
+                    }
+                    server
+                        .update(&UpdateMessage {
+                            oid: ObjectId(u.oid),
+                            loc: u.loc,
+                            vel: u.vel,
+                            ts: Timestamp::from_secs_f64(u.at_secs),
+                        })
+                        .unwrap();
                 }
-                server.update(&UpdateMessage {
-                    oid: ObjectId(u.oid), loc: u.loc, vel: u.vel,
-                    ts: Timestamp::from_secs_f64(u.at_secs),
-                }).unwrap();
-            }
-            let m = store.metrics_snapshot();
-            let st = server.stats();
-            let leaders = server.tables().spatial.row_count();
-            println!("eps={eps:>5} dm={dm} cl={cl}  shed={:.3}  writes={}  leaders={}  leader_up={} departs={} reg={}",
+                let m = store.metrics_snapshot();
+                let st = server.stats();
+                let leaders = server.tables().spatial.row_count();
+                println!("eps={eps:>5} dm={dm} cl={cl}  shed={:.3}  writes={}  leaders={}  leader_up={} departs={} reg={}",
                 st.shed_ratio(), m.write_ops + m.batch_ops, leaders, st.leader_updates, st.departures, st.registered);
-        }}
+            }
+        }
     }
 }

@@ -169,7 +169,9 @@ pub fn capacity_step(demand_ops: f64, second: u64, seed: u64) -> (f64, f64) {
         return (demand_ops, 0.0);
     }
     // Deterministic wobble from a splitmix-style hash of (second, seed).
-    let mut z = second.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    let mut z = second
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     let unit = ((z >> 11) as f64) / (1u64 << 53) as f64; // [0,1)

@@ -110,13 +110,7 @@ impl CostProfile {
     }
 
     /// Cost of one range scan returning `rows` rows / `bytes` bytes.
-    pub fn scan_us(
-        &self,
-        rows_in_table: u64,
-        rows: u64,
-        bytes: u64,
-        touches_disk: bool,
-    ) -> f64 {
+    pub fn scan_us(&self, rows_in_table: u64, rows: u64, bytes: u64, touches_disk: bool) -> f64 {
         self.rpc_base_us
             + self.index_nav_us(rows_in_table)
             + rows as f64 * self.scan_row_us
@@ -183,7 +177,10 @@ mod tests {
             + p.write_us(rows, 1, 33);
         // The paper reports "less than 0.2 ms" amortised per update and
         // 7,875 QPS at 1M objects — i.e. ~0.127 ms.
-        assert!(us > 100.0 && us < 200.0, "update cost {us} µs off-calibration");
+        assert!(
+            us > 100.0 && us < 200.0,
+            "update cost {us} µs off-calibration"
+        );
         let qps = 1e6 / us;
         assert!(qps > 5_000.0 && qps < 10_000.0, "QPS {qps} off-calibration");
     }

@@ -96,7 +96,10 @@ mod tests {
         assert!(TableSchema::new("t", vec![]).is_err());
         let dup = TableSchema::new(
             "t",
-            vec![ColumnFamily::in_memory("a", 1), ColumnFamily::in_memory("a", 2)],
+            vec![
+                ColumnFamily::in_memory("a", 1),
+                ColumnFamily::in_memory("a", 2),
+            ],
         );
         assert!(dup.is_err());
         let unnamed = TableSchema::new("t", vec![ColumnFamily::in_memory("", 1)]);

@@ -98,8 +98,10 @@ impl Session {
             .family(family)
             .map(|(_, f)| f.locality == Locality::Disk)
             .unwrap_or(false);
-        self.clock
-            .charge_us(self.profile.point_read_us(table.approx_row_count(), bytes, disk));
+        self.clock.charge_us(
+            self.profile
+                .point_read_us(table.approx_row_count(), bytes, disk),
+        );
         self.ops += 1;
         Ok(cell)
     }
@@ -114,8 +116,10 @@ impl Session {
         let row = table.get_row(key, opts)?;
         let bytes = row.as_ref().map_or(0, |r| r.payload_bytes() as u64);
         let disk = Self::family_touches_disk(table, opts);
-        self.clock
-            .charge_us(self.profile.point_read_us(table.approx_row_count(), bytes, disk));
+        self.clock.charge_us(
+            self.profile
+                .point_read_us(table.approx_row_count(), bytes, disk),
+        );
         self.ops += 1;
         Ok(row)
     }
@@ -146,7 +150,12 @@ impl Session {
     }
 
     /// Charged [`Table::mutate_row`].
-    pub fn mutate_row(&mut self, table: &Table, key: &RowKey, mutations: &[Mutation]) -> Result<()> {
+    pub fn mutate_row(
+        &mut self,
+        table: &Table,
+        key: &RowKey,
+        mutations: &[Mutation],
+    ) -> Result<()> {
         table.mutate_row(key, mutations)?;
         let bytes: u64 = mutations
             .iter()
@@ -284,10 +293,18 @@ mod tests {
         let (store, t) = setup();
         let mut s = store.session();
         let k = RowKey::from_u64(1);
-        s.mutate_row(&t, &k, &[Mutation::put("mem", "q", Timestamp(0), &b"x"[..])])
-            .unwrap();
-        s.mutate_row(&t, &k, &[Mutation::put("disk", "q", Timestamp(0), &b"x"[..])])
-            .unwrap();
+        s.mutate_row(
+            &t,
+            &k,
+            &[Mutation::put("mem", "q", Timestamp(0), &b"x"[..])],
+        )
+        .unwrap();
+        s.mutate_row(
+            &t,
+            &k,
+            &[Mutation::put("disk", "q", Timestamp(0), &b"x"[..])],
+        )
+        .unwrap();
         s.reset();
         let _ = s.get_latest(&t, &k, "mem", "q").unwrap();
         let mem_cost = s.reset();

@@ -257,11 +257,11 @@ impl Table {
                 // Saturate at zero: fetch_update keeps the counter sane even
                 // if deletes race ahead of the estimate.
                 let dec = (-delta) as u64;
-                let _ = self.approx_rows.fetch_update(
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                    |v| Some(v.saturating_sub(dec)),
-                );
+                let _ = self
+                    .approx_rows
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(dec))
+                    });
             }
             std::cmp::Ordering::Equal => {}
         }
@@ -285,11 +285,8 @@ impl Table {
             }
         };
         let owned = self.materialize(key, row, &family_filter, opts.latest_only);
-        self.metrics.record_read(
-            1,
-            1,
-            owned.as_ref().map_or(0, |r| r.payload_bytes() as u64),
-        );
+        self.metrics
+            .record_read(1, 1, owned.as_ref().map_or(0, |r| r.payload_bytes() as u64));
         Ok(owned)
     }
 
@@ -344,7 +341,11 @@ impl Table {
         for rm in batch {
             let tablet = self.tablets.route(&rm.key);
             let id = Arc::as_ptr(&tablet) as usize;
-            groups.entry(id).or_insert_with(|| (tablet, Vec::new())).1.push(rm);
+            groups
+                .entry(id)
+                .or_insert_with(|| (tablet, Vec::new()))
+                .1
+                .push(rm);
         }
         let mut total_muts = 0u64;
         let mut total_bytes = 0u64;
@@ -460,8 +461,7 @@ impl Table {
                 None => Box::new(rows.range(range.start.clone()..)),
             };
             for (key, row) in iter {
-                if let Some(owned) = self.materialize(key, row, &family_filter, opts.latest_only)
-                {
+                if let Some(owned) = self.materialize(key, row, &family_filter, opts.latest_only) {
                     bytes += owned.payload_bytes() as u64;
                     out.push(owned);
                     if out.len() >= limit {
@@ -725,7 +725,13 @@ mod tests {
             .unwrap();
         }
         let all = t
-            .get_row(&key, &ReadOptions { families: None, latest_only: false })
+            .get_row(
+                &key,
+                &ReadOptions {
+                    families: None,
+                    latest_only: false,
+                },
+            )
             .unwrap()
             .unwrap();
         assert_eq!(all.entries[0].cells.len(), 3);
@@ -771,7 +777,9 @@ mod tests {
             .unwrap();
         }
         assert!(t.tablet_count() > 1);
-        let rows = t.scan(&ScanRange::all(), &ReadOptions::latest(), None).unwrap();
+        let rows = t
+            .scan(&ScanRange::all(), &ReadOptions::latest(), None)
+            .unwrap();
         assert_eq!(rows.len(), 500);
         let keys: Vec<u64> = rows.iter().map(|r| r.key.as_u64().unwrap()).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan out of order");
@@ -855,7 +863,11 @@ mod tests {
             .unwrap();
         assert!(!claimed);
         assert_eq!(
-            t.get_latest(&key, "mem", "owner").unwrap().unwrap().value.as_ref(),
+            t.get_latest(&key, "mem", "owner")
+                .unwrap()
+                .unwrap()
+                .value
+                .as_ref(),
             b"a"
         );
         // Value-guarded transition a -> c succeeds; stale guard b -> d fails.

@@ -260,12 +260,7 @@ mod tests {
         let tablets = set.route_range(&start, Some(&end));
         let total: usize = tablets
             .iter()
-            .map(|(_, t)| {
-                t.rows
-                    .read()
-                    .range(start.clone()..end.clone())
-                    .count()
-            })
+            .map(|(_, t)| t.rows.read().range(start.clone()..end.clone()).count())
             .sum();
         assert_eq!(total, 200);
     }

@@ -220,7 +220,9 @@ mod tests {
         let k2 = RowKey::from_bytes(vec![7, 255, 255]);
         assert_eq!(k2.prefix_successor().unwrap().0, vec![8]);
         // All-0xFF has no successor.
-        assert!(RowKey::from_bytes(vec![255, 255]).prefix_successor().is_none());
+        assert!(RowKey::from_bytes(vec![255, 255])
+            .prefix_successor()
+            .is_none());
     }
 
     #[test]

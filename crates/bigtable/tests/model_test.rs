@@ -10,11 +10,26 @@ use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key: u64, qual: u8, ts: u64, val: u8 },
-    DeleteColumn { key: u64, qual: u8 },
-    DeleteRow { key: u64 },
-    Get { key: u64 },
-    Scan { start: u64, len: u64 },
+    Put {
+        key: u64,
+        qual: u8,
+        ts: u64,
+        val: u8,
+    },
+    DeleteColumn {
+        key: u64,
+        qual: u8,
+    },
+    DeleteRow {
+        key: u64,
+    },
+    Get {
+        key: u64,
+    },
+    Scan {
+        start: u64,
+        len: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -107,9 +107,8 @@ pub fn cluster_cell(
         .into_values()
         .filter(|members| members.len() > 1)
         .map(|mut members| {
-            members.sort_by_key(|&i| {
-                (std::cmp::Reverse(follower_infos[i].len()), leaders[i].oid.0)
-            });
+            members
+                .sort_by_key(|&i| (std::cmp::Reverse(follower_infos[i].len()), leaders[i].oid.0));
             let survivor = members[0];
             Merge {
                 survivor,
@@ -199,8 +198,7 @@ pub fn cluster_cell(
 /// carries fewer row headers.
 fn coalesce_rows(batch: Vec<RowMutation>) -> Vec<RowMutation> {
     let mut order: Vec<moist_bigtable::RowKey> = Vec::new();
-    let mut by_row: HashMap<moist_bigtable::RowKey, Vec<moist_bigtable::Mutation>> =
-        HashMap::new();
+    let mut by_row: HashMap<moist_bigtable::RowKey, Vec<moist_bigtable::Mutation>> = HashMap::new();
     for rm in batch {
         match by_row.entry(rm.key.clone()) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -335,7 +333,9 @@ mod tests {
         seed_leader(&mut s, &t, &cfg, 1, 100.0, 100.0, 1.0, 0.0);
         seed_leader(&mut s, &t, &cfg, 2, 101.0, 100.0, 1.01, 0.0);
         seed_leader(&mut s, &t, &cfg, 3, 102.0, 100.0, -1.0, 0.0); // opposite
-        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let cell = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
         let report = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
         assert_eq!(report.pre_leaders, 3);
         assert_eq!(report.merged, 1);
@@ -348,7 +348,8 @@ mod tests {
         assert!(t.lf(&mut s, ObjectId(3)).unwrap().unwrap().is_leader());
         // Spatial index holds exactly the two surviving leaders.
         assert_eq!(
-            t.spatial_count_cell(&mut s, cell, cfg.space.leaf_level).unwrap(),
+            t.spatial_count_cell(&mut s, cell, cfg.space.leaf_level)
+                .unwrap(),
             2
         );
         // Phase breakdown is populated.
@@ -364,12 +365,22 @@ mod tests {
             t.set_lf(
                 s,
                 ObjectId(follower),
-                &LfRecord::Follower { leader: ObjectId(leader), displacement: d, since_us: 0 },
+                &LfRecord::Follower {
+                    leader: ObjectId(leader),
+                    displacement: d,
+                    since_us: 0,
+                },
                 Timestamp::from_secs(1),
             )
             .unwrap();
-            t.add_follower(s, ObjectId(leader), ObjectId(follower), d, Timestamp::from_secs(1))
-                .unwrap();
+            t.add_follower(
+                s,
+                ObjectId(leader),
+                ObjectId(follower),
+                d,
+                Timestamp::from_secs(1),
+            )
+            .unwrap();
         };
         // Leader 1 has one follower (9); leader 2 has two (10, 11), so 2
         // survives the merge and 1's school moves over.
@@ -377,14 +388,20 @@ mod tests {
         affiliate(&mut s, 1, 9, d9);
         affiliate(&mut s, 2, 10, moist_spatial::Displacement::new(1.0, 0.0));
         affiliate(&mut s, 2, 11, moist_spatial::Displacement::new(2.0, 0.0));
-        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let cell = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
         let report = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
         assert_eq!(report.merged, 1);
         assert_eq!(report.followers_moved, 1, "only the absorbed school moves");
         assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
         // The absorbed leader 1 follows 2 with displacement 2→1 = (-10, 0).
         match t.lf(&mut s, ObjectId(1)).unwrap().unwrap() {
-            LfRecord::Follower { leader, displacement, .. } => {
+            LfRecord::Follower {
+                leader,
+                displacement,
+                ..
+            } => {
                 assert_eq!(leader, ObjectId(2));
                 assert!((displacement.dx - (-10.0)).abs() < 1e-9);
             }
@@ -392,7 +409,11 @@ mod tests {
         }
         // Follower 9's displacement composed: 2→1 + 1→9 = (-10, 3).
         match t.lf(&mut s, ObjectId(9)).unwrap().unwrap() {
-            LfRecord::Follower { leader, displacement, .. } => {
+            LfRecord::Follower {
+                leader,
+                displacement,
+                ..
+            } => {
                 assert_eq!(leader, ObjectId(2));
                 assert!((displacement.dx - (-10.0)).abs() < 1e-9);
                 assert!((displacement.dy - 3.0).abs() < 1e-9);
@@ -421,11 +442,15 @@ mod tests {
     fn empty_and_singleton_cells_are_cheap_noops() {
         let (_st, t, mut s, cfg) = setup();
         seed_leader(&mut s, &t, &cfg, 1, 500.0, 500.0, 1.0, 0.0);
-        let empty_cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(10.0, 10.0));
+        let empty_cell = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(10.0, 10.0));
         let r = cluster_cell(&mut s, &t, &cfg, empty_cell, Timestamp::from_secs(2)).unwrap();
         assert_eq!(r.pre_leaders, 0);
         assert_eq!(r.write_us, 0.0);
-        let single = cfg.space.cell_at(cfg.clustering_level, &Point::new(500.0, 500.0));
+        let single = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(500.0, 500.0));
         let r = cluster_cell(&mut s, &t, &cfg, single, Timestamp::from_secs(2)).unwrap();
         assert_eq!(r.pre_leaders, 1);
         assert_eq!(r.merged, 0);
@@ -437,7 +462,9 @@ mod tests {
         for i in 0..10 {
             seed_leader(&mut s, &t, &cfg, i, 100.0 + i as f64, 100.0, 1.0, 0.0);
         }
-        let cell = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let cell = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
         let r1 = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(2)).unwrap();
         assert_eq!(r1.post_leaders, 1);
         let r2 = cluster_cell(&mut s, &t, &cfg, cell, Timestamp::from_secs(3)).unwrap();

@@ -88,7 +88,10 @@ impl LfRecord {
     /// Encodes to tagged bytes.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            LfRecord::Leader { since_us, last_leaf } => {
+            LfRecord::Leader {
+                since_us,
+                last_leaf,
+            } => {
                 let mut b = Vec::with_capacity(17);
                 b.push(0u8);
                 b.extend_from_slice(&since_us.to_le_bytes());
@@ -119,8 +122,7 @@ impl LfRecord {
                 last_leaf: u64::from_le_bytes(buf[9..17].try_into().unwrap()),
             }),
             Some(1) if buf.len() >= LF_RECORD_BYTES => {
-                let f =
-                    |r: std::ops::Range<usize>| f64::from_le_bytes(buf[r].try_into().unwrap());
+                let f = |r: std::ops::Range<usize>| f64::from_le_bytes(buf[r].try_into().unwrap());
                 Ok(LfRecord::Follower {
                     leader: ObjectId(u64::from_le_bytes(buf[1..9].try_into().unwrap())),
                     displacement: Displacement::new(f(9..17), f(17..25)),
@@ -182,7 +184,10 @@ mod tests {
 
     #[test]
     fn lf_record_roundtrip_both_variants() {
-        let l = LfRecord::Leader { since_us: 42, last_leaf: 0xFEED };
+        let l = LfRecord::Leader {
+            since_us: 42,
+            last_leaf: 0xFEED,
+        };
         assert_eq!(LfRecord::decode(&l.encode()).unwrap(), l);
         assert!(l.is_leader());
         let f = LfRecord::Follower {

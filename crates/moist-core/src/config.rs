@@ -117,11 +117,23 @@ mod tests {
     fn rejects_bad_values() {
         let base = MoistConfig::default();
         let cases = [
-            MoistConfig { epsilon: -1.0, ..base },
-            MoistConfig { delta_m: 0.0, ..base },
-            MoistConfig { clustering_level: base.space.leaf_level + 1, ..base },
+            MoistConfig {
+                epsilon: -1.0,
+                ..base
+            },
+            MoistConfig {
+                delta_m: 0.0,
+                ..base
+            },
+            MoistConfig {
+                clustering_level: base.space.leaf_level + 1,
+                ..base
+            },
             MoistConfig { sigma: 0, ..base },
-            MoistConfig { cluster_interval_secs: 0.0, ..base },
+            MoistConfig {
+                cluster_interval_secs: 0.0,
+                ..base
+            },
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?} must be rejected");

@@ -115,11 +115,7 @@ impl FlagTuner {
         if let Some((left, right)) = cell.descendant_range(cfg.space.leaf_level) {
             if self.cache.len() >= self.max_entries {
                 // Evict the oldest entry.
-                if let Some((&k, _)) = self
-                    .cache
-                    .iter()
-                    .min_by_key(|(_, e)| e.created)
-                {
+                if let Some((&k, _)) = self.cache.iter().min_by_key(|(_, e)| e.created) {
                     self.cache.remove(&k);
                 }
             }
@@ -285,7 +281,14 @@ mod tests {
         assert_eq!(tuner.stats().cache_misses, 1);
         // Nearby query inside the cached cell: hit.
         let l2 = tuner
-            .best_level(&mut s, &t, &cfg, &Point::new(401.0, 401.0), 500, Timestamp::from_secs(10))
+            .best_level(
+                &mut s,
+                &t,
+                &cfg,
+                &Point::new(401.0, 401.0),
+                500,
+                Timestamp::from_secs(10),
+            )
             .unwrap();
         assert_eq!(l1, l2);
         assert_eq!(tuner.stats().cache_hits, 1);
@@ -312,7 +315,14 @@ mod tests {
         scatter(&mut s, &t, &cfg, 100, 0.0, 0.0, 1000.0, 1000.0);
         let mut tuner = FlagTuner::new(&cfg);
         tuner
-            .best_level(&mut s, &t, &cfg, &Point::new(1.0, 1.0), 100, Timestamp::ZERO)
+            .best_level(
+                &mut s,
+                &t,
+                &cfg,
+                &Point::new(1.0, 1.0),
+                100,
+                Timestamp::ZERO,
+            )
             .unwrap();
         assert_eq!(tuner.cache_len(), 1);
         tuner.invalidate();

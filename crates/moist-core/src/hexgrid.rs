@@ -41,7 +41,9 @@ impl HexGrid {
         } else {
             f64::MIN_POSITIVE.sqrt()
         };
-        HexGrid { radius: delta / 2.0 }
+        HexGrid {
+            radius: delta / 2.0,
+        }
     }
 
     /// The configured circumradius.

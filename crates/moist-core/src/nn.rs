@@ -256,9 +256,15 @@ mod tests {
             put(&mut s, &t, &cfg, i, 500.0 + 10.0 * i as f64, 500.0);
         }
         let opts = NnOptions::new(3, 8);
-        let (nn, stats) =
-            nn_query(&mut s, &t, &cfg, Point::new(500.0, 500.0), Timestamp::from_secs(1), &opts)
-                .unwrap();
+        let (nn, stats) = nn_query(
+            &mut s,
+            &t,
+            &cfg,
+            Point::new(500.0, 500.0),
+            Timestamp::from_secs(1),
+            &opts,
+        )
+        .unwrap();
         assert_eq!(nn.len(), 3);
         let ids: Vec<u64> = nn.iter().map(|n| n.oid.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
@@ -305,7 +311,7 @@ mod tests {
         let (_st, t, mut s, cfg) = setup();
         put(&mut s, &t, &cfg, 1, 510.0, 500.0); // leader, 10 away
         put(&mut s, &t, &cfg, 2, 600.0, 500.0); // leader, 100 away
-        // Follower of 1 sitting 5 away from the query point.
+                                                // Follower of 1 sitting 5 away from the query point.
         let d = moist_spatial::Displacement::new(-5.0, 0.0);
         t.set_lf(
             &mut s,
@@ -321,9 +327,15 @@ mod tests {
         t.add_follower(&mut s, ObjectId(1), ObjectId(3), d, Timestamp::from_secs(1))
             .unwrap();
         let opts = NnOptions::new(2, 8);
-        let (nn, _) =
-            nn_query(&mut s, &t, &cfg, Point::new(500.0, 500.0), Timestamp::from_secs(1), &opts)
-                .unwrap();
+        let (nn, _) = nn_query(
+            &mut s,
+            &t,
+            &cfg,
+            Point::new(500.0, 500.0),
+            Timestamp::from_secs(1),
+            &opts,
+        )
+        .unwrap();
         let ids: Vec<u64> = nn.iter().map(|n| n.oid.0).collect();
         assert_eq!(ids, vec![3, 1], "follower at 5 beats leader at 10");
         assert_eq!(nn[0].leader, ObjectId(1));
@@ -332,9 +344,15 @@ mod tests {
             include_followers: false,
             ..opts
         };
-        let (nn, _) =
-            nn_query(&mut s, &t, &cfg, Point::new(500.0, 500.0), Timestamp::from_secs(1), &opts)
-                .unwrap();
+        let (nn, _) = nn_query(
+            &mut s,
+            &t,
+            &cfg,
+            Point::new(500.0, 500.0),
+            Timestamp::from_secs(1),
+            &opts,
+        )
+        .unwrap();
         let ids: Vec<u64> = nn.iter().map(|n| n.oid.0).collect();
         assert_eq!(ids, vec![1, 2]);
     }
@@ -368,9 +386,15 @@ mod tests {
         )
         .unwrap();
         let now_opts = NnOptions::new(1, 6);
-        let (nn, _) =
-            nn_query(&mut s, &t, &cfg, Point::new(500.0, 500.0), Timestamp::from_secs(0), &now_opts)
-                .unwrap();
+        let (nn, _) = nn_query(
+            &mut s,
+            &t,
+            &cfg,
+            Point::new(500.0, 500.0),
+            Timestamp::from_secs(0),
+            &now_opts,
+        )
+        .unwrap();
         assert_eq!(nn[0].oid, ObjectId(1), "object 1 is nearest now");
         let future_opts = NnOptions {
             predict_secs: 4.0,

@@ -164,7 +164,14 @@ mod tests {
     fn matches_brute_force_on_a_grid() {
         let (_st, t, mut s, cfg) = setup();
         for i in 0..100u64 {
-            put(&mut s, &t, &cfg, i, (i % 10) as f64 * 100.0 + 5.0, (i / 10) as f64 * 100.0 + 5.0);
+            put(
+                &mut s,
+                &t,
+                &cfg,
+                i,
+                (i % 10) as f64 * 100.0 + 5.0,
+                (i / 10) as f64 * 100.0 + 5.0,
+            );
         }
         let rect = Rect::new(150.0, 150.0, 450.0, 350.0);
         let (hits, stats) =
@@ -196,13 +203,29 @@ mod tests {
         // At t=20 the object should be around x=300.
         let rect = Rect::new(290.0, 490.0, 310.0, 510.0);
         // Margin must cover v·staleness = 10 u/s × 20 s = 200 units.
-        let (hits, _) =
-            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(20), true, 200.0).unwrap();
+        let (hits, _) = region_query(
+            &mut s,
+            &t,
+            &cfg,
+            &rect,
+            Timestamp::from_secs(20),
+            true,
+            200.0,
+        )
+        .unwrap();
         assert_eq!(hits.len(), 1);
         // And not at its stale location (even with the generous margin).
         let stale = Rect::new(90.0, 490.0, 110.0, 510.0);
-        let (hits, _) =
-            region_query(&mut s, &t, &cfg, &stale, Timestamp::from_secs(20), true, 200.0).unwrap();
+        let (hits, _) = region_query(
+            &mut s,
+            &t,
+            &cfg,
+            &stale,
+            Timestamp::from_secs(20),
+            true,
+            200.0,
+        )
+        .unwrap();
         assert!(hits.is_empty());
     }
 
@@ -215,7 +238,11 @@ mod tests {
         t.set_lf(
             &mut s,
             ObjectId(2),
-            &LfRecord::Follower { leader: ObjectId(1), displacement: d, since_us: 0 },
+            &LfRecord::Follower {
+                leader: ObjectId(1),
+                displacement: d,
+                since_us: 0,
+            },
             Timestamp::from_secs(1),
         )
         .unwrap();
@@ -223,14 +250,30 @@ mod tests {
             .unwrap();
         let rect = Rect::new(250.0, 50.0, 350.0, 150.0);
         // Margin must cover the school's displacement span (200 units).
-        let (hits, _) =
-            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), true, 200.0).unwrap();
+        let (hits, _) = region_query(
+            &mut s,
+            &t,
+            &cfg,
+            &rect,
+            Timestamp::from_secs(1),
+            true,
+            200.0,
+        )
+        .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].oid, ObjectId(2));
         assert_eq!(hits[0].leader, ObjectId(1));
         // Leaders-only mode misses it.
-        let (hits, _) =
-            region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), false, 200.0).unwrap();
+        let (hits, _) = region_query(
+            &mut s,
+            &t,
+            &cfg,
+            &rect,
+            Timestamp::from_secs(1),
+            false,
+            200.0,
+        )
+        .unwrap();
         assert!(hits.is_empty());
     }
 
@@ -249,7 +292,14 @@ mod tests {
     fn whole_map_region_returns_everything_once() {
         let (_st, t, mut s, cfg) = setup();
         for i in 0..50u64 {
-            put(&mut s, &t, &cfg, i, (i * 19 % 1000) as f64, (i * 37 % 1000) as f64);
+            put(
+                &mut s,
+                &t,
+                &cfg,
+                i,
+                (i * 19 % 1000) as f64,
+                (i * 37 % 1000) as f64,
+            );
         }
         let (hits, _) = region_query(
             &mut s,

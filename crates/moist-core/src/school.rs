@@ -84,14 +84,42 @@ mod tests {
         let at = Timestamp::from_secs(15);
         let disp = Displacement::new(0.0, 5.0);
         // Dead on the estimate.
-        assert!(within_school(&leader_rec(), ts, disp, &Point::new(110.0, 105.0), at, 1.0));
+        assert!(within_school(
+            &leader_rec(),
+            ts,
+            disp,
+            &Point::new(110.0, 105.0),
+            at,
+            1.0
+        ));
         // 3 units off with ε = 5: stays.
-        assert!(within_school(&leader_rec(), ts, disp, &Point::new(113.0, 105.0), at, 5.0));
+        assert!(within_school(
+            &leader_rec(),
+            ts,
+            disp,
+            &Point::new(113.0, 105.0),
+            at,
+            5.0
+        ));
         // 3 units off with ε = 2: departs.
-        assert!(!within_school(&leader_rec(), ts, disp, &Point::new(113.0, 105.0), at, 2.0));
+        assert!(!within_school(
+            &leader_rec(),
+            ts,
+            disp,
+            &Point::new(113.0, 105.0),
+            at,
+            2.0
+        ));
         // ε = 0 keeps only exact matches (the paper's no-schooling mode
         // treats every deviation as a departure).
-        assert!(within_school(&leader_rec(), ts, disp, &Point::new(110.0, 105.0), at, 0.0));
+        assert!(within_school(
+            &leader_rec(),
+            ts,
+            disp,
+            &Point::new(110.0, 105.0),
+            at,
+            0.0
+        ));
     }
 
     #[test]
@@ -101,7 +129,12 @@ mod tests {
         let eloc = estimated_location(&leader_rec(), ts, Displacement::ZERO, ts);
         assert_eq!(eloc, Point::new(100.0, 100.0));
         // Query *before* the record (clock skew): secs_since saturates to 0.
-        let eloc = estimated_location(&leader_rec(), ts, Displacement::ZERO, Timestamp::from_secs(5));
+        let eloc = estimated_location(
+            &leader_rec(),
+            ts,
+            Displacement::ZERO,
+            Timestamp::from_secs(5),
+        );
         assert_eq!(eloc, Point::new(100.0, 100.0));
     }
 }

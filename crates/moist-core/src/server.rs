@@ -156,14 +156,9 @@ impl MoistServer {
         at: Timestamp,
     ) -> Result<(Vec<Neighbor>, NnStats)> {
         let n = self.object_estimate.max(1);
-        let level = self.flag.best_level(
-            &mut self.session,
-            &self.tables,
-            &self.cfg,
-            &center,
-            n,
-            at,
-        )?;
+        let level =
+            self.flag
+                .best_level(&mut self.session, &self.tables, &self.cfg, &center, n, at)?;
         self.nn_at_level(center, k, at, level)
     }
 
@@ -241,20 +236,18 @@ impl MoistServer {
         use crate::codec::LfRecord;
         match self.tables.lf(&mut self.session, oid)? {
             None => Ok(None),
-            Some(LfRecord::Leader { .. }) => {
-                Ok(self
-                    .tables
-                    .latest_location(&mut self.session, oid)?
-                    .map(|(ts, rec)| rec.loc.advance(rec.vel, at.secs_since(ts))))
-            }
-            Some(LfRecord::Follower { leader, displacement, .. }) => {
-                match self.tables.latest_location(&mut self.session, leader)? {
-                    None => Ok(None),
-                    Some((ts, rec)) => {
-                        Ok(Some(estimated_location(&rec, ts, displacement, at)))
-                    }
-                }
-            }
+            Some(LfRecord::Leader { .. }) => Ok(self
+                .tables
+                .latest_location(&mut self.session, oid)?
+                .map(|(ts, rec)| rec.loc.advance(rec.vel, at.secs_since(ts)))),
+            Some(LfRecord::Follower {
+                leader,
+                displacement,
+                ..
+            }) => match self.tables.latest_location(&mut self.session, leader)? {
+                None => Ok(None),
+                Some((ts, rec)) => Ok(Some(estimated_location(&rec, ts, displacement, at))),
+            },
         }
     }
 
@@ -317,7 +310,9 @@ mod tests {
                 .update(&msg(i, 100.0 + 10.0 * i as f64, 500.0, 1.0, 0.0))
                 .unwrap();
         }
-        let (nn, stats) = server.nn(Point::new(100.0, 500.0), 5, Timestamp::ZERO).unwrap();
+        let (nn, stats) = server
+            .nn(Point::new(100.0, 500.0), 5, Timestamp::ZERO)
+            .unwrap();
         assert_eq!(nn.len(), 5);
         assert_eq!(nn[0].oid, ObjectId(0));
         assert!(stats.cost_us > 0.0, "queries must cost virtual time");
@@ -359,7 +354,11 @@ mod tests {
         t.set_lf(
             server.session_mut(),
             ObjectId(2),
-            &LfRecord::Follower { leader: ObjectId(1), displacement: d, since_us: 0 },
+            &LfRecord::Follower {
+                leader: ObjectId(1),
+                displacement: d,
+                since_us: 0,
+            },
             Timestamp::ZERO,
         )
         .unwrap();

@@ -25,8 +25,8 @@ use crate::config::{table_names, MoistConfig};
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
 use moist_bigtable::{
-    Bigtable, ColumnFamily, Mutation, ReadOptions, RowKey, RowMutation, ScanRange, Session,
-    Table, TableSchema, Timestamp,
+    Bigtable, ColumnFamily, Mutation, ReadOptions, RowKey, RowMutation, ScanRange, Session, Table,
+    TableSchema, Timestamp,
 };
 use moist_spatial::{CellId, Displacement};
 use std::sync::Arc;
@@ -116,7 +116,12 @@ impl MoistTables {
         s.mutate_row(
             &self.location,
             &RowKey::from_u64(oid.0),
-            &[Mutation::put(cols::LOC_MEM, cols::LOC_Q, ts, rec.encode().to_vec())],
+            &[Mutation::put(
+                cols::LOC_MEM,
+                cols::LOC_Q,
+                ts,
+                rec.encode().to_vec(),
+            )],
         )?;
         Ok(())
     }
@@ -127,7 +132,12 @@ impl MoistTables {
         s: &mut Session,
         oid: ObjectId,
     ) -> Result<Option<(Timestamp, LocationRecord)>> {
-        match s.get_latest(&self.location, &RowKey::from_u64(oid.0), cols::LOC_MEM, cols::LOC_Q)? {
+        match s.get_latest(
+            &self.location,
+            &RowKey::from_u64(oid.0),
+            cols::LOC_MEM,
+            cols::LOC_Q,
+        )? {
             None => Ok(None),
             Some(cell) => Ok(Some((cell.ts, LocationRecord::decode(&cell.value)?))),
         }
@@ -166,7 +176,11 @@ impl MoistTables {
         oids: &[ObjectId],
     ) -> Result<Vec<Option<(Timestamp, LocationRecord)>>> {
         let keys: Vec<RowKey> = oids.iter().map(|o| RowKey::from_u64(o.0)).collect();
-        let rows = s.batch_get(&self.location, &keys, &ReadOptions::latest_in(cols::LOC_MEM))?;
+        let rows = s.batch_get(
+            &self.location,
+            &keys,
+            &ReadOptions::latest_in(cols::LOC_MEM),
+        )?;
         rows.into_iter()
             .map(|row| match row {
                 None => Ok(None),
@@ -181,7 +195,9 @@ impl MoistTables {
     /// Moves location records older than `cutoff` to the disk column
     /// (aged-data treatment, §3.1.2).
     pub fn age_locations(&self, cutoff: Timestamp) -> Result<usize> {
-        Ok(self.location.age_transfer(cols::LOC_MEM, cols::LOC_DISK, cutoff)?)
+        Ok(self
+            .location
+            .age_transfer(cols::LOC_MEM, cols::LOC_DISK, cutoff)?)
     }
 
     // ---------- Spatial Index Table ----------
@@ -202,7 +218,12 @@ impl MoistTables {
         s.mutate_row(
             &self.spatial,
             &Self::spatial_key(leaf_index, oid),
-            &[Mutation::put(cols::SPATIAL, cols::SPATIAL_Q, ts, rec.encode().to_vec())],
+            &[Mutation::put(
+                cols::SPATIAL,
+                cols::SPATIAL_Q,
+                ts,
+                rec.encode().to_vec(),
+            )],
         )?;
         Ok(())
     }
@@ -230,15 +251,17 @@ impl MoistTables {
     ) -> Result<()> {
         let put = RowMutation::new(
             Self::spatial_key(new_leaf, oid),
-            vec![Mutation::put(cols::SPATIAL, cols::SPATIAL_Q, ts, rec.encode().to_vec())],
+            vec![Mutation::put(
+                cols::SPATIAL,
+                cols::SPATIAL_Q,
+                ts,
+                rec.encode().to_vec(),
+            )],
         );
         if old_leaf == new_leaf {
             s.mutate_rows(&self.spatial, &[put])?;
         } else {
-            let del = RowMutation::new(
-                Self::spatial_key(old_leaf, oid),
-                vec![Mutation::DeleteRow],
-            );
+            let del = RowMutation::new(Self::spatial_key(old_leaf, oid), vec![Mutation::DeleteRow]);
             s.mutate_rows(&self.spatial, &[del, put])?;
         }
         Ok(())
@@ -294,7 +317,12 @@ impl MoistTables {
     }
 
     /// Number of leaders inside `cell` (a charged scan; FLAG's `m`).
-    pub fn spatial_count_cell(&self, s: &mut Session, cell: CellId, leaf_level: u8) -> Result<usize> {
+    pub fn spatial_count_cell(
+        &self,
+        s: &mut Session,
+        cell: CellId,
+        leaf_level: u8,
+    ) -> Result<usize> {
         Ok(self.spatial_scan_cell(s, cell, leaf_level, None)?.len())
     }
 
@@ -308,14 +336,22 @@ impl MoistTables {
 
     /// Builds (without applying) a delete mutation for a spatial entry.
     pub fn spatial_delete_mutation(leaf_index: u64, oid: ObjectId) -> RowMutation {
-        RowMutation::new(Self::spatial_key(leaf_index, oid), vec![Mutation::DeleteRow])
+        RowMutation::new(
+            Self::spatial_key(leaf_index, oid),
+            vec![Mutation::DeleteRow],
+        )
     }
 
     // ---------- Affiliation Table ----------
 
     /// The L/F record of `oid` (None for never-seen objects).
     pub fn lf(&self, s: &mut Session, oid: ObjectId) -> Result<Option<LfRecord>> {
-        match s.get_latest(&self.affiliation, &RowKey::from_u64(oid.0), cols::LF_MEM, cols::LF_Q)? {
+        match s.get_latest(
+            &self.affiliation,
+            &RowKey::from_u64(oid.0),
+            cols::LF_MEM,
+            cols::LF_Q,
+        )? {
             None => Ok(None),
             Some(cell) => Ok(Some(LfRecord::decode(&cell.value)?)),
         }
@@ -324,7 +360,11 @@ impl MoistTables {
     /// Batch-fetches L/F records (clustering's batch read).
     pub fn batch_lf(&self, s: &mut Session, oids: &[ObjectId]) -> Result<Vec<Option<LfRecord>>> {
         let keys: Vec<RowKey> = oids.iter().map(|o| RowKey::from_u64(o.0)).collect();
-        let rows = s.batch_get(&self.affiliation, &keys, &ReadOptions::latest_in(cols::LF_MEM))?;
+        let rows = s.batch_get(
+            &self.affiliation,
+            &keys,
+            &ReadOptions::latest_in(cols::LF_MEM),
+        )?;
         rows.into_iter()
             .map(|row| match row {
                 None => Ok(None),
@@ -337,7 +377,13 @@ impl MoistTables {
     }
 
     /// Writes the L/F record of `oid`.
-    pub fn set_lf(&self, s: &mut Session, oid: ObjectId, lf: &LfRecord, ts: Timestamp) -> Result<()> {
+    pub fn set_lf(
+        &self,
+        s: &mut Session,
+        oid: ObjectId,
+        lf: &LfRecord,
+        ts: Timestamp,
+    ) -> Result<()> {
         s.mutate_row(
             &self.affiliation,
             &RowKey::from_u64(oid.0),
@@ -355,7 +401,11 @@ impl MoistTables {
     }
 
     /// The Follower Info of a leader: each follower with its displacement.
-    pub fn followers(&self, s: &mut Session, leader: ObjectId) -> Result<Vec<(ObjectId, Displacement)>> {
+    pub fn followers(
+        &self,
+        s: &mut Session,
+        leader: ObjectId,
+    ) -> Result<Vec<(ObjectId, Displacement)>> {
         let row = s.get_row(
             &self.affiliation,
             &RowKey::from_u64(leader.0),
@@ -440,11 +490,19 @@ impl MoistTables {
     }
 
     /// Removes `follower` from `leader`'s Follower Info.
-    pub fn remove_follower(&self, s: &mut Session, leader: ObjectId, follower: ObjectId) -> Result<()> {
+    pub fn remove_follower(
+        &self,
+        s: &mut Session,
+        leader: ObjectId,
+        follower: ObjectId,
+    ) -> Result<()> {
         s.mutate_row(
             &self.affiliation,
             &RowKey::from_u64(leader.0),
-            &[Mutation::delete_column(cols::FOLLOWERS, follower_qualifier(follower))],
+            &[Mutation::delete_column(
+                cols::FOLLOWERS,
+                follower_qualifier(follower),
+            )],
         )?;
         Ok(())
     }
@@ -453,7 +511,10 @@ impl MoistTables {
     pub fn remove_follower_mutation(leader: ObjectId, follower: ObjectId) -> RowMutation {
         RowMutation::new(
             RowKey::from_u64(leader.0),
-            vec![Mutation::delete_column(cols::FOLLOWERS, follower_qualifier(follower))],
+            vec![Mutation::delete_column(
+                cols::FOLLOWERS,
+                follower_qualifier(follower),
+            )],
         )
     }
 
@@ -564,8 +625,14 @@ mod tests {
         let leaf_level = cfg.space.leaf_level;
         let p = Point::new(100.0, 100.0);
         let leaf = cfg.space.leaf_cell(&p).index;
-        t.spatial_insert(&mut s, leaf, ObjectId(7), &rec(100.0, 100.0, leaf), Timestamp(1))
-            .unwrap();
+        t.spatial_insert(
+            &mut s,
+            leaf,
+            ObjectId(7),
+            &rec(100.0, 100.0, leaf),
+            Timestamp(1),
+        )
+        .unwrap();
         // Scan the enclosing clustering cell.
         let cc = cfg.space.cell_at(cfg.clustering_level, &p);
         let entries = t.spatial_scan_cell(&mut s, cc, leaf_level, None).unwrap();
@@ -575,9 +642,19 @@ mod tests {
         // Move to another cell.
         let p2 = Point::new(900.0, 900.0);
         let leaf2 = cfg.space.leaf_cell(&p2).index;
-        t.spatial_move(&mut s, leaf, leaf2, ObjectId(7), &rec(900.0, 900.0, leaf2), Timestamp(2))
-            .unwrap();
-        assert!(t.spatial_scan_cell(&mut s, cc, leaf_level, None).unwrap().is_empty());
+        t.spatial_move(
+            &mut s,
+            leaf,
+            leaf2,
+            ObjectId(7),
+            &rec(900.0, 900.0, leaf2),
+            Timestamp(2),
+        )
+        .unwrap();
+        assert!(t
+            .spatial_scan_cell(&mut s, cc, leaf_level, None)
+            .unwrap()
+            .is_empty());
         let cc2 = cfg.space.cell_at(cfg.clustering_level, &p2);
         assert_eq!(t.spatial_count_cell(&mut s, cc2, leaf_level).unwrap(), 1);
         t.spatial_remove(&mut s, leaf2, ObjectId(7)).unwrap();
@@ -590,16 +667,30 @@ mod tests {
         let leader = ObjectId(4);
         let f1 = ObjectId(2);
         let f2 = ObjectId(7);
-        t.set_lf(&mut s, leader, &LfRecord::Leader { since_us: 1, last_leaf: 0 }, Timestamp(1))
-            .unwrap();
+        t.set_lf(
+            &mut s,
+            leader,
+            &LfRecord::Leader {
+                since_us: 1,
+                last_leaf: 0,
+            },
+            Timestamp(1),
+        )
+        .unwrap();
         let d1 = Displacement::new(1.0, 0.0);
         let d2 = Displacement::new(0.0, 2.0);
-        t.add_follower(&mut s, leader, f1, d1, Timestamp(1)).unwrap();
-        t.add_follower(&mut s, leader, f2, d2, Timestamp(1)).unwrap();
+        t.add_follower(&mut s, leader, f1, d1, Timestamp(1))
+            .unwrap();
+        t.add_follower(&mut s, leader, f2, d2, Timestamp(1))
+            .unwrap();
         t.set_lf(
             &mut s,
             f1,
-            &LfRecord::Follower { leader, displacement: d1, since_us: 1 },
+            &LfRecord::Follower {
+                leader,
+                displacement: d1,
+                since_us: 1,
+            },
             Timestamp(1),
         )
         .unwrap();
@@ -622,10 +713,24 @@ mod tests {
     #[test]
     fn batch_lf_and_batch_followers() {
         let (_store, t, mut s) = setup();
-        t.set_lf(&mut s, ObjectId(1), &LfRecord::Leader { since_us: 0, last_leaf: 0 }, Timestamp(0))
-            .unwrap();
-        t.add_follower(&mut s, ObjectId(1), ObjectId(9), Displacement::ZERO, Timestamp(0))
-            .unwrap();
+        t.set_lf(
+            &mut s,
+            ObjectId(1),
+            &LfRecord::Leader {
+                since_us: 0,
+                last_leaf: 0,
+            },
+            Timestamp(0),
+        )
+        .unwrap();
+        t.add_follower(
+            &mut s,
+            ObjectId(1),
+            ObjectId(9),
+            Displacement::ZERO,
+            Timestamp(0),
+        )
+        .unwrap();
         let lfs = t.batch_lf(&mut s, &[ObjectId(1), ObjectId(2)]).unwrap();
         assert!(lfs[0].is_some() && lfs[1].is_none());
         let fols = t
@@ -648,8 +753,16 @@ mod tests {
         // Latest (hot) record still served from memory.
         let (_, latest) = t.latest_location(&mut s, oid).unwrap().unwrap();
         assert_eq!(latest.loc.x, 1.0);
-        t.set_lf(&mut s, oid, &LfRecord::Leader { since_us: 0, last_leaf: 0 }, Timestamp(0))
-            .unwrap();
+        t.set_lf(
+            &mut s,
+            oid,
+            &LfRecord::Leader {
+                since_us: 0,
+                last_leaf: 0,
+            },
+            Timestamp(0),
+        )
+        .unwrap();
         let aged = t.age_affiliations(Timestamp::from_secs(50)).unwrap();
         assert_eq!(aged, 1);
     }

@@ -73,14 +73,20 @@ pub fn apply_update(
             tables.set_lf(
                 s,
                 msg.oid,
-                &LfRecord::Leader { since_us: msg.ts.0, last_leaf: new_leaf },
+                &LfRecord::Leader {
+                    since_us: msg.ts.0,
+                    last_leaf: new_leaf,
+                },
                 msg.ts,
             )?;
             tables.put_location(s, msg.oid, &record, msg.ts)?;
             tables.spatial_insert(s, new_leaf, msg.oid, &record, msg.ts)?;
             Ok(UpdateOutcome::Registered)
         }
-        Some(LfRecord::Leader { since_us, last_leaf }) => {
+        Some(LfRecord::Leader {
+            since_us,
+            last_leaf,
+        }) => {
             // Lines 2–3: leader path.
             tables.put_location(s, msg.oid, &record, msg.ts)?;
             tables.spatial_move(s, last_leaf, new_leaf, msg.oid, &record, msg.ts)?;
@@ -88,13 +94,20 @@ pub fn apply_update(
                 tables.set_lf(
                     s,
                     msg.oid,
-                    &LfRecord::Leader { since_us, last_leaf: new_leaf },
+                    &LfRecord::Leader {
+                        since_us,
+                        last_leaf: new_leaf,
+                    },
                     msg.ts,
                 )?;
             }
             Ok(UpdateOutcome::LeaderUpdated)
         }
-        Some(LfRecord::Follower { leader, displacement, .. }) => {
+        Some(LfRecord::Follower {
+            leader,
+            displacement,
+            ..
+        }) => {
             // Lines 5–6: estimate the follower's location from its leader.
             let (leader_ts, leader_rec) = match tables.latest_location(s, leader)? {
                 Some(x) => x,
@@ -105,8 +118,14 @@ pub fn apply_update(
                 }
             };
             // Lines 7–8: within ε → shed, zero store writes.
-            if within_school(&leader_rec, leader_ts, displacement, &msg.loc, msg.ts, cfg.epsilon)
-            {
+            if within_school(
+                &leader_rec,
+                leader_ts,
+                displacement,
+                &msg.loc,
+                msg.ts,
+                cfg.epsilon,
+            ) {
                 return Ok(UpdateOutcome::Shed);
             }
             // Lines 10–13: departure — become a leader of a new school.
@@ -133,7 +152,10 @@ fn promote_to_leader(
     // Line 11: label ID a leader.
     batch.push(MoistTables::lf_mutation(
         msg.oid,
-        &LfRecord::Leader { since_us: msg.ts.0, last_leaf: new_leaf },
+        &LfRecord::Leader {
+            since_us: msg.ts.0,
+            last_leaf: new_leaf,
+        },
         msg.ts,
     ));
     tables.affiliation_batch(s, &batch)?;
@@ -184,9 +206,12 @@ mod tests {
         let (_, rec) = t.latest_location(&mut s, ObjectId(1)).unwrap().unwrap();
         assert_eq!(rec.loc, Point::new(100.0, 100.0));
         // Present in the spatial index.
-        let cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let cc = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
         assert_eq!(
-            t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level).unwrap(),
+            t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level)
+                .unwrap(),
             1
         );
     }
@@ -198,14 +223,29 @@ mod tests {
         let out = apply_update(&mut s, &t, &cfg, &msg(1, 600.0, 600.0, 1.0, 1)).unwrap();
         assert_eq!(out, UpdateOutcome::LeaderUpdated);
         // Old cell empty, new cell has exactly one entry.
-        let old_cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
-        let new_cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(600.0, 600.0));
-        assert_eq!(t.spatial_count_cell(&mut s, old_cc, cfg.space.leaf_level).unwrap(), 0);
-        assert_eq!(t.spatial_count_cell(&mut s, new_cc, cfg.space.leaf_level).unwrap(), 1);
+        let old_cc = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(100.0, 100.0));
+        let new_cc = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(600.0, 600.0));
+        assert_eq!(
+            t.spatial_count_cell(&mut s, old_cc, cfg.space.leaf_level)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            t.spatial_count_cell(&mut s, new_cc, cfg.space.leaf_level)
+                .unwrap(),
+            1
+        );
         // The LF record tracks the new leaf.
         match t.lf(&mut s, ObjectId(1)).unwrap().unwrap() {
             LfRecord::Leader { last_leaf, .. } => {
-                assert_eq!(last_leaf, cfg.space.leaf_cell(&Point::new(600.0, 600.0)).index);
+                assert_eq!(
+                    last_leaf,
+                    cfg.space.leaf_cell(&Point::new(600.0, 600.0)).index
+                );
             }
             _ => panic!("leader expected"),
         }
@@ -225,8 +265,14 @@ mod tests {
             Timestamp::ZERO,
         )
         .unwrap();
-        t.add_follower(s, ObjectId(1), ObjectId(2), Displacement::new(0.0, 2.0), Timestamp::ZERO)
-            .unwrap();
+        t.add_follower(
+            s,
+            ObjectId(1),
+            ObjectId(2),
+            Displacement::new(0.0, 2.0),
+            Timestamp::ZERO,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -254,15 +300,26 @@ mod tests {
         build_school(&t, &mut s, &cfg);
         // Report 300 units away from the estimate.
         let out = apply_update(&mut s, &t, &cfg, &msg(2, 400.0, 102.0, 1.0, 10)).unwrap();
-        assert_eq!(out, UpdateOutcome::Departed { old_leader: ObjectId(1) });
+        assert_eq!(
+            out,
+            UpdateOutcome::Departed {
+                old_leader: ObjectId(1)
+            }
+        );
         // Now a leader with its own rows.
         assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
         assert!(t.latest_location(&mut s, ObjectId(2)).unwrap().is_some());
         // Removed from the old leader's Follower Info.
         assert!(t.followers(&mut s, ObjectId(1)).unwrap().is_empty());
         // And it is in the spatial index at its reported location.
-        let cc = cfg.space.cell_at(cfg.clustering_level, &Point::new(400.0, 102.0));
-        assert_eq!(t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level).unwrap(), 1);
+        let cc = cfg
+            .space
+            .cell_at(cfg.clustering_level, &Point::new(400.0, 102.0));
+        assert_eq!(
+            t.spatial_count_cell(&mut s, cc, cfg.space.leaf_level)
+                .unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -10,7 +10,12 @@ use moist_core::{
 use moist_spatial::{Point, Velocity};
 use std::sync::Arc;
 
-fn setup() -> (Arc<Bigtable>, MoistTables, moist_bigtable::Session, MoistConfig) {
+fn setup() -> (
+    Arc<Bigtable>,
+    MoistTables,
+    moist_bigtable::Session,
+    MoistConfig,
+) {
     let store = Bigtable::new();
     let cfg = MoistConfig::default();
     let tables = MoistTables::create(&store, &cfg).unwrap();
@@ -36,7 +41,12 @@ fn corrupted_lf_record_is_a_codec_error_not_a_panic() {
         .affiliation
         .mutate_row(
             &RowKey::from_u64(1),
-            &[Mutation::put("lf", "lf", Timestamp::from_secs(2), vec![0xFF, 0x00, 0x13])],
+            &[Mutation::put(
+                "lf",
+                "lf",
+                Timestamp::from_secs(2),
+                vec![0xFF, 0x00, 0x13],
+            )],
         )
         .unwrap();
     let err = apply_update(&mut s, &tables, &cfg, &msg(1, 101.0, 100.0)).unwrap_err();
@@ -55,7 +65,12 @@ fn corrupted_spatial_record_fails_queries_cleanly() {
         .spatial
         .mutate_row(
             &RowKey::composite(leaf, 1),
-            &[Mutation::put("id", "r", Timestamp::from_secs(2), vec![1, 2, 3])],
+            &[Mutation::put(
+                "id",
+                "r",
+                Timestamp::from_secs(2),
+                vec![1, 2, 3],
+            )],
         )
         .unwrap();
     let err = nn_query(

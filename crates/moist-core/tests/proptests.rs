@@ -18,8 +18,8 @@
 
 use moist_bigtable::{Bigtable, CostProfile, Session, Timestamp};
 use moist_core::{
-    apply_update, cluster_sweep, nn_query, LfRecord, MoistConfig, MoistTables, NnOptions,
-    ObjectId, UpdateMessage, UpdateOutcome,
+    apply_update, cluster_sweep, nn_query, LfRecord, MoistConfig, MoistTables, NnOptions, ObjectId,
+    UpdateMessage, UpdateOutcome,
 };
 use moist_spatial::{Point, Velocity};
 use proptest::prelude::*;
@@ -79,7 +79,14 @@ impl Harness {
 
     fn apply(&mut self, op: &Op) {
         match op {
-            Op::Update { oid, x, y, vx, vy, dt } => {
+            Op::Update {
+                oid,
+                x,
+                y,
+                vx,
+                vy,
+                dt,
+            } => {
                 self.now += dt;
                 let msg = UpdateMessage {
                     oid: ObjectId(*oid),
@@ -129,8 +136,14 @@ impl Harness {
         // Every follower's leader is a leader with a matching Follower Info
         // entry.
         for (&f, &l) in &followers {
-            prop_assert!(leaders.contains(&l), "follower {f}'s leader {l} is not a leader");
-            let info = self.tables.followers(&mut self.session, ObjectId(l)).unwrap();
+            prop_assert!(
+                leaders.contains(&l),
+                "follower {f}'s leader {l} is not a leader"
+            );
+            let info = self
+                .tables
+                .followers(&mut self.session, ObjectId(l))
+                .unwrap();
             prop_assert!(
                 info.iter().any(|(o, _)| o.0 == f),
                 "follower {f} missing from leader {l}'s Follower Info"
@@ -139,18 +152,27 @@ impl Harness {
         // No follower appears in a *different* leader's Follower Info, and
         // leaders' Follower Info only lists actual followers of that leader.
         for &l in &leaders {
-            for (o, _) in self.tables.followers(&mut self.session, ObjectId(l)).unwrap() {
+            for (o, _) in self
+                .tables
+                .followers(&mut self.session, ObjectId(l))
+                .unwrap()
+            {
                 // Stale entries for objects that departed are deleted by
                 // Algorithm 1 line 10; anything listed must follow l.
                 if let Some(&actual) = followers.get(&o.0) {
                     prop_assert_eq!(
-                        actual, l,
-                        "object listed under leader {} but follows {}", l, actual
+                        actual,
+                        l,
+                        "object listed under leader {} but follows {}",
+                        l,
+                        actual
                     );
                 } else {
                     prop_assert!(
                         !leaders.contains(&o.0),
-                        "leader {} listed as follower of {}", o.0, l
+                        "leader {} listed as follower of {}",
+                        o.0,
+                        l
                     );
                 }
             }
@@ -207,8 +229,15 @@ impl Harness {
             include_followers: false,
             ..NnOptions::new(5, level)
         };
-        let (nn, _) =
-            nn_query(&mut self.session, &self.tables, &self.cfg, center, at, &opts).unwrap();
+        let (nn, _) = nn_query(
+            &mut self.session,
+            &self.tables,
+            &self.cfg,
+            center,
+            at,
+            &opts,
+        )
+        .unwrap();
         prop_assert_eq!(nn.len(), k);
         // Compare distances (id ties can legitimately reorder).
         for (got, want) in nn.iter().zip(brute.iter()) {

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// the cell along the space-filling curve at that level. Ordering is by
 /// `(level, index)`; within one level this is exactly curve order, which is
 /// key order in the Spatial Index Table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
     /// Refinement depth; 0 is the whole space.
     pub level: u8,
@@ -115,10 +113,22 @@ impl CellId {
         let base = self.index << 2;
         let l = self.level + 1;
         Some([
-            CellId { level: l, index: base },
-            CellId { level: l, index: base + 1 },
-            CellId { level: l, index: base + 2 },
-            CellId { level: l, index: base + 3 },
+            CellId {
+                level: l,
+                index: base,
+            },
+            CellId {
+                level: l,
+                index: base + 1,
+            },
+            CellId {
+                level: l,
+                index: base + 2,
+            },
+            CellId {
+                level: l,
+                index: base + 3,
+            },
         ])
     }
 
@@ -253,17 +263,23 @@ mod tests {
         let c = CellId::from_point(H, 5, &Point::new(0.1, 0.1));
         let (start, end) = c.descendant_range(8).unwrap();
         assert_eq!(end - start, 64); // 4^3 descendants
-        // Every index in the range has c as its level-5 ancestor.
+                                     // Every index in the range has c as its level-5 ancestor.
         for i in start..end {
             let leaf = CellId { level: 8, index: i };
             assert_eq!(leaf.ancestor_at(5), Some(c));
         }
         // And the indexes just outside do not.
         if start > 0 {
-            let before = CellId { level: 8, index: start - 1 };
+            let before = CellId {
+                level: 8,
+                index: start - 1,
+            };
             assert_ne!(before.ancestor_at(5), Some(c));
         }
-        let after = CellId { level: 8, index: end };
+        let after = CellId {
+            level: 8,
+            index: end,
+        };
         assert_ne!(after.ancestor_at(5), Some(c));
     }
 
@@ -276,8 +292,7 @@ mod tests {
             assert!(!ns.is_empty() && ns.len() <= 4);
             for n in &ns {
                 let (nx, ny) = n.coords(H);
-                let manhattan =
-                    (cx as i64 - nx as i64).abs() + (cy as i64 - ny as i64).abs();
+                let manhattan = (cx as i64 - nx as i64).abs() + (cy as i64 - ny as i64).abs();
                 assert_eq!(manhattan, 1);
                 assert!(n.edge_neighbors(H).contains(&c), "neighbourhood not mutual");
             }

@@ -228,11 +228,7 @@ mod tests {
                 let mut child_indexes: Vec<u64> = Vec::new();
                 for cx in 0..2u64 {
                     for cy in 0..2u64 {
-                        let d = hilbert_index(
-                            level,
-                            (px as u64) * 2 + cx,
-                            (py as u64) * 2 + cy,
-                        );
+                        let d = hilbert_index(level, (px as u64) * 2 + cx, (py as u64) * 2 + cy);
                         child_indexes.push(d);
                     }
                 }

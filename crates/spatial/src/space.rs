@@ -35,11 +35,7 @@ impl Space {
     /// leaf level 20 (≈1-unit cells on a 1,000-unit map would be level 10;
     /// level 20 gives ~1 mm resolution, comfortably finer than GPS noise).
     pub fn paper_map() -> Self {
-        Space::new(
-            Rect::new(0.0, 0.0, 1000.0, 1000.0),
-            CurveKind::Hilbert,
-            20,
-        )
+        Space::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), CurveKind::Hilbert, 20)
     }
 
     /// A 1 km² space where one world unit is one metre (the §4.3 setting,

@@ -1,0 +1,201 @@
+//! Vendored stand-in for the `criterion` crate. This build environment
+//! has no crates.io access, so the workspace vendors the API slice its
+//! benches use: `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`throughput`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical machinery, each benchmark is
+//! warmed up once and then timed over a fixed wall-clock budget; the
+//! mean iteration time is printed. Good enough to compare orders of
+//! magnitude and to keep every bench target compiling and runnable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly within the harness's budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration, untimed.
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Accepted for CLI compatibility; the stub has no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub uses a time budget
+    /// rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        // The closure never called `iter`; nothing to report.
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let mut line = format!("{id:<50} {:>12}/iter", fmt_time(per_iter));
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            line += &format!("  {:>14.0} elem/s", rate);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter;
+            line += &format!("  {:>14.0} B/s", rate);
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("add", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Vendored mini-serde. This build environment has no crates.io access,
+//! so the workspace vendors an API-compatible slice of serde:
+//!
+//! * the [`Serialize`] / [`Serializer`] side is **functional** — derived
+//!   impls drive any `Serializer` (the vendored `serde_json` uses this
+//!   to produce real JSON);
+//! * the [`Deserialize`] / [`Deserializer`] side is **compile-only** —
+//!   the workspace derives `Deserialize` widely but never invokes it,
+//!   so derived impls type-check and return an "unsupported" error if
+//!   ever called at runtime.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros come from the sibling
+//! vendored `serde_derive`, which supports the shapes this workspace
+//! uses: named-field structs, newtype structs, unit-variant enums, and
+//! the `#[serde(with = "module")]` field attribute.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+pub use ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer};
+
+/// Deserialization half: compile-only (see crate docs).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced during deserialization.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values. The vendored build
+    /// declares the trait (so bounds and signatures type-check) but no
+    /// format implements a working deserializer.
+    pub trait Deserializer<'de>: Sized {
+        /// The error type produced on failure.
+        type Error: Error;
+    }
+
+    /// A type deserializable from any supported format.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes the value.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    macro_rules! impl_stub_deserialize {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                    Err(D::Error::custom(concat!(
+                        "vendored mini-serde cannot deserialize ",
+                        stringify!($t),
+                    )))
+                }
+            }
+        )*};
+    }
+    impl_stub_deserialize!(
+        bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String
+    );
+
+    impl<'de, T> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+            Err(D::Error::custom(
+                "vendored mini-serde cannot deserialize sequences",
+            ))
+        }
+    }
+
+    impl<'de, T> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+            Err(D::Error::custom(
+                "vendored mini-serde cannot deserialize options",
+            ))
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};

@@ -1,0 +1,392 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! mini-serde. No `syn`/`quote` (this build environment has no registry
+//! access), so the input item is parsed directly from the proc-macro
+//! token stream and the generated impl is assembled as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`
+//!   on individual fields);
+//! * newtype structs (`struct Key(Vec<u8>);`);
+//! * enums whose variants all carry no data.
+//!
+//! `Serialize` impls are fully functional. `Deserialize` impls are
+//! compile-only stubs (the workspace never deserializes; see the
+//! vendored `serde` crate docs).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item being derived for.
+enum Shape {
+    /// Named-field struct: `(field_name, field_type_src, with_module)`.
+    NamedStruct(Vec<(String, String, Option<String>)>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum with only unit variants (variant names in order).
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (compile-only stub impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+
+    match toks.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "mini-serde derive does not support generics on `{name}`"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match kind.as_str() {
+            "struct" => Ok(Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            "enum" => Ok(Item {
+                name,
+                shape: Shape::UnitEnum(parse_unit_variants(g.stream())?),
+            }),
+            _ => Err(format!("cannot derive for `{kind}`")),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err(format!("unexpected parenthesised body on `{kind} {name}`"));
+            }
+            let types = parse_tuple_fields(g.stream())?;
+            if types.len() != 1 {
+                return Err(format!(
+                    "mini-serde derive supports tuple structs with exactly 1 field; \
+                     `{name}` has {}",
+                    types.len()
+                ));
+            }
+            Ok(Item {
+                name,
+                shape: Shape::Newtype,
+            })
+        }
+        other => Err(format!("unexpected token after `{kind} {name}`: {other:?}")),
+    }
+}
+
+/// Parses `field: Type, ...`, honouring `#[serde(with = "module")]`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<(String, String, Option<String>)>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Attributes before the field.
+        let mut with_module = None;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        if let Some(m) = extract_serde_with(g.stream()) {
+                            with_module = Some(m);
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let fname = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{fname}`, got {other:?}")),
+        }
+        // Type: tokens until a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(tt) = toks.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        toks.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.push_str(&toks.next().unwrap().to_string());
+            ty.push(' ');
+        }
+        fields.push((fname, ty.trim().to_string(), with_module));
+    }
+    Ok(fields)
+}
+
+/// Parses the inside of `#[serde(...)]`, returning the `with` module.
+fn extract_serde_with(attr_body: TokenStream) -> Option<String> {
+    let mut toks = attr_body.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut it = inner.into_iter();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "with" {
+                // Expect `= "module::path"`.
+                match (it.next(), it.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parses tuple-struct field types (attrs/vis stripped).
+fn parse_tuple_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut types = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i32;
+    let mut toks = body.into_iter().peekable();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" && current.is_empty() => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+                continue;
+            }
+            None => break,
+            _ => {}
+        }
+        let tt = toks.next().unwrap();
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.trim().is_empty() {
+                        types.push(current.trim().to_string());
+                    }
+                    current = String::new();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push_str(&tt.to_string());
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        types.push(current.trim().to_string());
+    }
+    Ok(types)
+}
+
+/// Parses enum variants, requiring every variant to be dataless.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. doc comments).
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let vname = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        // Anything up to the next top-level comma must be a discriminant
+        // (`= expr`), not a payload.
+        if let Some(TokenTree::Group(_)) = toks.peek() {
+            return Err(format!(
+                "mini-serde derive supports only dataless enum variants; \
+                 `{vname}` carries data"
+            ));
+        }
+        while let Some(tt) = toks.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                toks.next();
+                break;
+            }
+            toks.next();
+        }
+        variants.push(vname);
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> TokenStream {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut src = format!(
+                "let mut __st = serde::Serializer::serialize_struct(__s, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for (fname, fty, with) in fields {
+                match with {
+                    None => src.push_str(&format!(
+                        "serde::ser::SerializeStruct::serialize_field(&mut __st, {fname:?}, \
+                         &self.{fname})?;\n"
+                    )),
+                    Some(module) => src.push_str(&format!(
+                        "{{\n\
+                         struct __SerdeWith<'a>(&'a {fty});\n\
+                         impl<'a> serde::Serialize for __SerdeWith<'a> {{\n\
+                             fn serialize<__S2: serde::Serializer>(&self, __s2: __S2)\n\
+                                 -> core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                                 {module}::serialize(self.0, __s2)\n\
+                             }}\n\
+                         }}\n\
+                         serde::ser::SerializeStruct::serialize_field(&mut __st, {fname:?}, \
+                         &__SerdeWith(&self.{fname}))?;\n\
+                         }}\n"
+                    )),
+                }
+            }
+            src.push_str("serde::ser::SerializeStruct::end(__st)\n");
+            src
+        }
+        Shape::Newtype => {
+            format!("serde::Serializer::serialize_newtype_struct(__s, {name:?}, &self.0)\n")
+        }
+        Shape::UnitEnum(variants) => {
+            let mut src = String::from("match self {\n");
+            for (i, v) in variants.iter().enumerate() {
+                src.push_str(&format!(
+                    "{name}::{v} => serde::Serializer::serialize_unit_variant(__s, {name:?}, \
+                     {i}u32, {v:?}),\n"
+                ));
+            }
+            src.push_str("}\n");
+            src
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __s: __S)\n\
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("mini-serde derive generated invalid Serialize impl")
+}
+
+fn gen_deserialize(item: &Item) -> TokenStream {
+    let name = &item.name;
+    // Fields with `#[serde(with = "module")]` still reference the
+    // module's `deserialize` fn, so its signature stays checked (and the
+    // fn is not dead code) even though the stub impl never runs it.
+    let mut with_refs = String::new();
+    if let Shape::NamedStruct(fields) = &item.shape {
+        for (_, _, with) in fields {
+            if let Some(module) = with {
+                with_refs.push_str(&format!("let _ = {module}::deserialize::<__D>;\n"));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(_d: __D)\n\
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 {with_refs}\
+                 Err(<__D::Error as serde::de::Error>::custom(\n\
+                     \"vendored mini-serde: Deserialize is compile-only\"))\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("mini-serde derive generated invalid Deserialize impl")
+}

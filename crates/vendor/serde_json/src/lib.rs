@@ -1,0 +1,342 @@
+//! Vendored JSON serializer over the vendored mini-serde: enough of the
+//! `serde_json` API to dump any `Serialize` type as (pretty) JSON.
+//! Deserialization is intentionally absent — the workspace never parses
+//! JSON (see the vendored `serde` crate docs).
+
+use serde::ser::Error as SerError;
+use serde::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer};
+use std::fmt;
+
+/// Serialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl SerError for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// An in-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number (integer or float).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer.
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I(v) => write!(f, "{v}"),
+            Number::U(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    // Like serde_json: round-trippable shortest form; keep
+                    // integral floats distinguishable with a trailing `.0`.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // serde_json rejects non-finite floats; we print null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Serializes `value` as a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value)?, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value)?, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- Serializer producing Value --------------------------------------------
+
+struct ValueSerializer;
+
+/// Builder for arrays/tuples.
+struct SeqBuilder(Vec<Value>);
+/// Builder for objects from structs/maps.
+struct ObjBuilder(Vec<(String, Value)>);
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeStruct = ObjBuilder;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeMap = ObjBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::I(v)))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::U(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::F(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
+        Ok(Value::Array(
+            v.iter()
+                .map(|&b| Value::Number(Number::U(b as u64)))
+                .collect(),
+        ))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_string()))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ObjBuilder, Error> {
+        Ok(ObjBuilder(Vec::with_capacity(len)))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder(Vec::with_capacity(len)))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<ObjBuilder, Error> {
+        Ok(ObjBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+}
+
+impl SerializeStruct for ObjBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0.push((name.to_string(), to_value(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl SerializeMap for ObjBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match to_value(key)? {
+            Value::String(s) => s,
+            Value::Number(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => return Err(Error::custom(format!("unsupported map key: {other:?}"))),
+        };
+        self.0.push((key, to_value(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.0.push(to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+impl SerializeTuple for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.0.push(to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&(1u32, 2.5f64)).unwrap(), "[1,2.5]");
+        let m: std::collections::BTreeMap<String, u32> =
+            [("a".to_string(), 1)].into_iter().collect();
+        assert_eq!(to_string(&m).unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = vec![vec![1u8], vec![]];
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "[\n  [\n    1\n  ],\n  []\n]"
+        );
+    }
+}

@@ -63,14 +63,11 @@ impl QpsTimeline {
         let mut bad: BTreeMap<u64, u64> = BTreeMap::new();
         for (t, success) in events {
             let sec = t.max(0.0) as u64;
-            *(if success { &mut ok } else { &mut bad }).entry(sec).or_default() += 1;
+            *(if success { &mut ok } else { &mut bad })
+                .entry(sec)
+                .or_default() += 1;
         }
-        let last = ok
-            .keys()
-            .chain(bad.keys())
-            .copied()
-            .max()
-            .unwrap_or(0);
+        let last = ok.keys().chain(bad.keys()).copied().max().unwrap_or(0);
         let samples = (0..=last)
             .map(|second| QpsSample {
                 second,

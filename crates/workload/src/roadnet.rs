@@ -286,12 +286,20 @@ impl RoadNetSim {
                     // Vertical road.
                     (
                         Point::new(line, offset),
-                        if rng.gen::<bool>() { Heading::North } else { Heading::South },
+                        if rng.gen::<bool>() {
+                            Heading::North
+                        } else {
+                            Heading::South
+                        },
                     )
                 } else {
                     (
                         Point::new(offset, line),
-                        if rng.gen::<bool>() { Heading::East } else { Heading::West },
+                        if rng.gen::<bool>() {
+                            Heading::East
+                        } else {
+                            Heading::West
+                        },
                     )
                 };
                 Agent {
@@ -345,20 +353,18 @@ impl RoadNetSim {
     }
 
     /// Advances one agent's true position by `dt` seconds.
-    fn move_agent(
-        map: &RoadMap,
-        cfg: &SimConfig,
-        rng: &mut StdRng,
-        agent: &mut Agent,
-        dt: f64,
-    ) {
+    fn move_agent(map: &RoadMap, cfg: &SimConfig, rng: &mut StdRng, agent: &mut Agent, dt: f64) {
         match agent.state {
             AgentState::InBuilding { building } => {
                 // Indoor pedestrians teleport uniformly within the building
                 // per update; exit with 5% probability.
                 if rng.gen::<f64>() < cfg.exit_probability {
                     agent.state = AgentState::OnRoad {
-                        heading: if rng.gen::<bool>() { Heading::East } else { Heading::West },
+                        heading: if rng.gen::<bool>() {
+                            Heading::East
+                        } else {
+                            Heading::West
+                        },
                     };
                     agent.loc = map.buildings()[building].entrance;
                 } else {
@@ -392,7 +398,8 @@ impl RoadNetSim {
                     if remaining > 1e-9 {
                         // At a crossroad: equal-probability turn among the
                         // headings that stay on the map.
-                        let choices = [Heading::North, Heading::South, Heading::East, Heading::West];
+                        let choices =
+                            [Heading::North, Heading::South, Heading::East, Heading::West];
                         let valid: Vec<Heading> = choices
                             .into_iter()
                             .filter(|h| {

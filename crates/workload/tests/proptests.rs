@@ -1,10 +1,8 @@
 //! Property-based tests for the workload generators: determinism, physical
 //! plausibility and the §4.1 contract under arbitrary configurations.
 
-use moist_workload::{
-    QpsTimeline, RoadMap, RoadMapConfig, RoadNetSim, SimConfig, UniformSim,
-};
 use moist_spatial::Rect;
+use moist_workload::{QpsTimeline, RoadMap, RoadMapConfig, RoadNetSim, SimConfig, UniformSim};
 use proptest::prelude::*;
 
 proptest! {

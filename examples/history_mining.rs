@@ -82,7 +82,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cost.total_device_secs * 1000.0
     );
     for r in path.iter().take(4) {
-        println!("  t={:>5.0}s  ({:.1}, {:.1})", r.ts_us as f64 / 1e6, r.loc.x, r.loc.y);
+        println!(
+            "  t={:>5.0}s  ({:.1}, {:.1})",
+            r.ts_us as f64 / 1e6,
+            r.loc.x,
+            r.loc.y
+        );
     }
     if path.len() > 4 {
         println!("  ... {} more fixes", path.len() - 4);
@@ -115,7 +120,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (cell, n) in hot.iter().take(5) {
         let c = cell.bounds(CurveKind::Hilbert).center();
         let w = space.to_world(&Point::new(c.x, c.y));
-        println!("  cell #{:>3}  around ({:>3.0}, {:>3.0})  {n} visits", cell.index, w.x, w.y);
+        println!(
+            "  cell #{:>3}  around ({:>3.0}, {:>3.0})  {n} visits",
+            cell.index, w.x, w.y
+        );
     }
 
     // (d) The §3.6.2 planner: how many disks should this deployment run?

@@ -12,12 +12,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = Bigtable::new();
     let mut server = MoistServer::new(&store, MoistConfig::default())?;
 
-    // Three commuters walk east together; one cyclist heads north.
+    // Three commuters walk east together (inside one clustering cell —
+    // schools form per cell, so straddling a cell boundary would keep
+    // them apart); one cyclist heads north.
     println!("== registering objects ==");
     for (oid, x, y, vx, vy) in [
-        (1u64, 100.0, 500.0, 1.0, 0.0),
-        (2, 101.0, 501.0, 1.0, 0.0),
-        (3, 102.0, 499.0, 1.0, 0.0),
+        (1u64, 100.0, 510.0, 1.0, 0.0),
+        (2, 101.0, 511.0, 1.0, 0.0),
+        (3, 102.0, 509.0, 1.0, 0.0),
         (4, 500.0, 100.0, 0.0, 2.0),
     ] {
         let outcome = server.update(&UpdateMessage {
@@ -39,10 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Followers that keep moving with their school are shed: no store write.
     println!("\n== follower updates (schooled) ==");
     for t in 31..=35u64 {
-        let x = 102.0 + (t - 30) as f64; // object 3 keeps pace with the school
+        let x = 102.0 + t as f64; // object 3 keeps pace with the school: 1 u/s east since t=0
         let outcome = server.update(&UpdateMessage {
             oid: ObjectId(3),
-            loc: Point::new(x, 499.0),
+            loc: Point::new(x, 509.0),
             vel: Velocity::new(1.0, 0.0),
             ts: Timestamp::from_secs(t),
         })?;
@@ -56,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * stats.shed_ratio()
     );
 
-    // Nearest-neighbour query: who is around (105, 500)?
-    println!("\n== 3-NN around (105, 500) at t=35s ==");
-    let (neighbors, nn_stats) = server.nn(Point::new(105.0, 500.0), 3, Timestamp::from_secs(35))?;
+    // Nearest-neighbour query: who is around (105, 510)?
+    println!("\n== 3-NN around (105, 510) at t=35s ==");
+    let (neighbors, nn_stats) = server.nn(Point::new(105.0, 510.0), 3, Timestamp::from_secs(35))?;
     for n in &neighbors {
         println!(
             "  object {} at ({:.1}, {:.1}) — {:.1} units away (school of {})",

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fired: false,
     };
 
-    println!("Bus Alert Service: 60 buses, stop at ({:.0}, {:.0})\n", stop.x, stop.y);
+    println!(
+        "Bus Alert Service: 60 buses, stop at ({:.0}, {:.0})\n",
+        stop.x, stop.y
+    );
     let mut clock = 0.0f64;
     while clock < 600.0 {
         clock += 30.0;
@@ -69,7 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // surrounding quarter (a region query; margin covers bus speed ×
         // update interval).
         let (nearby, _) = server.nn(stop, 3, now)?;
-        let quarter = Rect::new(stop.x - 150.0, stop.y - 150.0, stop.x + 150.0, stop.y + 150.0);
+        let quarter = Rect::new(
+            stop.x - 150.0,
+            stop.y - 150.0,
+            stop.x + 150.0,
+            stop.y + 150.0,
+        );
         let (in_quarter, _) = server.region(&quarter, now, 60.0)?;
 
         // (3) Alarm check.
@@ -84,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
 
-        if clock as u64 % 120 == 0 {
+        if (clock as u64).is_multiple_of(120) {
             let ids: Vec<String> = nearby
                 .iter()
                 .map(|n| format!("{}@{:.0}u", n.oid, n.distance))
@@ -111,7 +119,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.elapsed_us() / 1000.0
     );
     if !alarm.fired {
-        println!("(The watched bus never came within {:.0} units this run.)", alarm.radius);
+        println!(
+            "(The watched bus never came within {:.0} units this run.)",
+            alarm.radius
+        );
     }
     Ok(())
 }

@@ -1,0 +1,5 @@
+//! Workspace-root package: exists only to host the integration tests in
+//! `tests/` and the runnable examples in `examples/`. All library code
+//! lives in the `crates/` members; use the [`moist`] facade crate.
+
+pub use moist;

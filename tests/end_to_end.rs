@@ -23,10 +23,7 @@ fn parallel_servers_ingest_concurrently_without_corruption() {
             server
                 .update(&UpdateMessage {
                     oid: ObjectId(oid),
-                    loc: Point::new(
-                        (oid % 1000) as f64,
-                        ((oid * 7) % 1000) as f64,
-                    ),
+                    loc: Point::new((oid % 1000) as f64, ((oid * 7) % 1000) as f64),
                     vel: moist::spatial::Velocity::new(1.0, 0.0),
                     ts: Timestamp::from_secs(1),
                 })

@@ -128,7 +128,12 @@ fn moist_and_bxtree_agree_on_knn_without_schooling() {
     let ts = Timestamp::from_secs(1);
     for (oid, loc, vel) in uni.positions() {
         server
-            .update(&UpdateMessage { oid: ObjectId(oid), loc, vel, ts })
+            .update(&UpdateMessage {
+                oid: ObjectId(oid),
+                loc,
+                vel,
+                ts,
+            })
             .unwrap();
         bx.update(&mut bx_session, oid, &loc, &vel, ts).unwrap();
     }
