@@ -19,7 +19,7 @@ use moist::core::{
 };
 use moist::spatial::Rect;
 use moist::workload::{ClientPool, UniformSim};
-use moist_bench::{capacity_step, Figure, Series};
+use moist_bench::{capacity_step, smoke_mode, Figure, Series};
 use std::sync::Arc;
 
 /// Bulk-loads `n` objects directly through the tables (free session), then
@@ -60,13 +60,13 @@ fn bulk_load(n: u64, cfg: &MoistConfig) -> Arc<Bigtable> {
 }
 
 /// Measures single-server update QPS at population `n`.
-fn single_qps(n: u64) -> f64 {
+fn single_qps(n: u64, measured_updates: usize) -> f64 {
     let cfg = MoistConfig::without_schooling();
     let store = bulk_load(n, &cfg);
     let mut server = MoistServer::new(&store, cfg).expect("server");
     let world = Rect::new(0.0, 0.0, 1000.0, 1000.0);
     let mut sim = UniformSim::new(world, n, 2.0, 5.0, 7).with_velocity_walk(0.5);
-    let updates = sim.next_updates(50_000);
+    let updates = sim.next_updates(measured_updates);
     server.session_mut().reset();
     for u in &updates {
         server
@@ -81,16 +81,21 @@ fn single_qps(n: u64) -> f64 {
     updates.len() as f64 / (server.elapsed_us() / 1e6)
 }
 
-fn single() {
+fn single(smoke: bool) {
     let mut fig = Figure::new(
-        "fig13a",
+        if smoke { "fig13a_smoke" } else { "fig13a" },
         "Single-server update QPS vs #indexed objects (ε = 0)",
         "objects",
         "update QPS",
     );
+    let (populations, measured): (&[u64], usize) = if smoke {
+        (&[100_000, 200_000], 10_000)
+    } else {
+        (&[400_000, 600_000, 800_000, 1_000_000], 50_000)
+    };
     let mut series = Series::new("update QPS");
-    for n in [400_000u64, 600_000, 800_000, 1_000_000] {
-        let qps = single_qps(n);
+    for &n in populations {
+        let qps = single_qps(n, measured);
         println!("{n:>9} objects: {qps:>8.0} updates/s");
         series.push(n as f64, qps);
     }
@@ -102,8 +107,7 @@ fn single() {
 /// Multi-server timeline: `servers` OS threads each drive a MoistServer
 /// against one shared store for `horizon_secs` of virtual time; the
 /// aggregate per-second demand is clipped by the store capacity model.
-fn multi(servers: usize, horizon_secs: u64, fig_id: &str) {
-    let population = 1_000_000u64;
+fn multi(servers: usize, horizon_secs: u64, fig_id: &str, population: u64) {
     let cfg = MoistConfig::without_schooling();
     let store = bulk_load(population, &cfg);
     println!("loaded {population} objects; driving {servers} servers...");
@@ -158,15 +162,27 @@ fn multi(servers: usize, horizon_secs: u64, fig_id: &str) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let smoke = smoke_mode();
+    let (population, horizon) = if smoke { (100_000, 5) } else { (1_000_000, 30) };
+    let (id_b, id_c) = if smoke {
+        ("fig13b_smoke", "fig13c_smoke")
+    } else {
+        ("fig13b", "fig13c")
+    };
+    // The mode is the first non-flag argument, wherever it sits relative
+    // to `--smoke` (`fig13 --smoke single` must not fall back to `all`).
+    let arg = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "all".into());
     match arg.as_str() {
-        "single" => single(),
-        "multi5" => multi(5, 30, "fig13b"),
-        "multi10" => multi(10, 30, "fig13c"),
+        "single" => single(smoke),
+        "multi5" => multi(5, horizon, id_b, population),
+        "multi10" => multi(10, horizon, id_c, population),
         _ => {
-            single();
-            multi(5, 30, "fig13b");
-            multi(10, 30, "fig13c");
+            single(smoke);
+            multi(5, horizon, id_b, population);
+            multi(10, horizon, id_c, population);
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Figure 14 (repo extension) — front-end scale-out on the road network.
+//!
+//! The paper's deployment-shape claim (§4.3.3): update throughput scales
+//! with the number of front-end servers sharing one BigTable until the
+//! store's write capacity caps it, and object schools multiply the
+//! *client-visible* rate on top — "with 10 servers and object schools,
+//! MOIST achieves update QPS of 60k, a nearly 80x speedup over Bx-tree".
+//!
+//! This bin drives a [`MoistCluster`] of 1/2/4/5/10 shards with a
+//! [`ClientPool`] of OS threads (real lock contention on the shared
+//! store) over the §4.1 road-network workload. Updates route to shards by
+//! clustering-cell hash; each shard lazily clusters only the cells it
+//! owns. Reported per shard count:
+//!
+//! * **store QPS** — non-shed updates per virtual second of the busiest
+//!   shard (shards consume store time in parallel), clipped by the shared
+//!   write-capacity model;
+//! * **client-visible QPS** — `store QPS / (1 − shed ratio)`: the rate
+//!   clients experience once schools shed the redundant updates.
+
+use moist::bigtable::{Bigtable, Timestamp};
+use moist::core::{MoistCluster, MoistConfig, ObjectId, ServerStats, UpdateMessage};
+use moist::workload::{ClientPool, RoadMap, RoadMapConfig, RoadNetSim, SimConfig};
+use moist_bench::{smoke_mode, Figure, Series, STORE_WRITE_CAPACITY_OPS};
+use std::sync::Mutex;
+
+struct Scale {
+    shard_counts: Vec<usize>,
+    clients: usize,
+    agents_per_client: u64,
+    warmup_secs: f64,
+    measure_secs: f64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            shard_counts: vec![1, 2, 4, 5, 10],
+            clients: 4,
+            agents_per_client: 1200,
+            warmup_secs: 60.0,
+            measure_secs: 240.0,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scale {
+            shard_counts: vec![1, 2, 4],
+            clients: 2,
+            agents_per_client: 300,
+            warmup_secs: 30.0,
+            measure_secs: 60.0,
+        }
+    }
+}
+
+/// Counter deltas between two aggregate snapshots.
+fn delta(after: &ServerStats, before: &ServerStats) -> ServerStats {
+    ServerStats {
+        updates: after.updates - before.updates,
+        shed: after.shed - before.shed,
+        leader_updates: after.leader_updates - before.leader_updates,
+        registered: after.registered - before.registered,
+        departures: after.departures - before.departures,
+        nn_queries: after.nn_queries - before.nn_queries,
+        cluster_runs: after.cluster_runs - before.cluster_runs,
+    }
+}
+
+struct Measured {
+    store_qps: f64,
+    client_qps: f64,
+    shed: f64,
+}
+
+/// Drives every simulator from its current time to `until`, in `tick`-second
+/// steps, routing updates through the cluster; on each tick worker `i` also
+/// runs the lazy clustering pass for the shards congruent to `i` modulo the
+/// worker count, so every shard gets clustering ticks even when there are
+/// fewer client threads than shards.
+fn drive(cluster: &MoistCluster, sims: &[Mutex<RoadNetSim>], until: f64, tick: f64) {
+    let shards = cluster.num_shards();
+    ClientPool::run(sims.len(), |i| {
+        let mut sim = sims[i].lock().expect("sim lock");
+        let oid_base = i as u64 * 10_000_000;
+        let mut t = sim.now_secs();
+        while t < until {
+            t = (t + tick).min(until);
+            for u in sim.advance_until(t) {
+                cluster
+                    .update(&UpdateMessage {
+                        oid: ObjectId(oid_base + u.oid),
+                        loc: u.loc,
+                        vel: u.vel,
+                        ts: Timestamp::from_secs_f64(u.at_secs),
+                    })
+                    .expect("update");
+            }
+            let mut shard = i;
+            while shard < shards {
+                cluster
+                    .run_due_clustering_shard(shard, Timestamp::from_secs_f64(t))
+                    .expect("clustering");
+                shard += sims.len();
+            }
+        }
+    });
+}
+
+fn run_one(shards: usize, scale: &Scale) -> Measured {
+    let store = Bigtable::new();
+    let cfg = MoistConfig {
+        epsilon: 50.0,
+        delta_m: 2.0,
+        clustering_level: 3,
+        cluster_interval_secs: 10.0,
+        ..MoistConfig::default()
+    };
+    let cluster = MoistCluster::new(&store, cfg, shards).expect("cluster");
+    let sims: Vec<Mutex<RoadNetSim>> = (0..scale.clients)
+        .map(|i| {
+            Mutex::new(RoadNetSim::new(
+                RoadMap::new(RoadMapConfig::default()),
+                SimConfig {
+                    agents: scale.agents_per_client,
+                    seed: 4000 + i as u64,
+                    ..SimConfig::default()
+                },
+            ))
+        })
+        .collect();
+    // Warm-up: register everyone and let schools form, then measure from a
+    // clean clock.
+    drive(&cluster, &sims, scale.warmup_secs, 5.0);
+    cluster.reset_clocks();
+    let before = cluster.stats();
+    drive(&cluster, &sims, scale.warmup_secs + scale.measure_secs, 5.0);
+    let d = delta(&cluster.stats(), &before);
+    assert!(d.balanced(), "outcome counters must sum: {d:?}");
+
+    let busiest_secs = cluster.max_elapsed_us() / 1e6;
+    let non_shed = (d.updates - d.shed) as f64;
+    let store_qps = (non_shed / busiest_secs).min(STORE_WRITE_CAPACITY_OPS);
+    let shed = d.shed as f64 / d.updates.max(1) as f64;
+    let client_qps = store_qps / (1.0 - shed).max(0.05);
+    Measured {
+        store_qps,
+        client_qps,
+        shed,
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let id = if smoke {
+        "fig14_scaleout_smoke"
+    } else {
+        "fig14_scaleout"
+    };
+    let mut fig = Figure::new(
+        id,
+        "Scale-out: client-visible update QPS vs #front-end shards (road network)",
+        "shards",
+        "updates/s",
+    );
+    let mut client_series = Series::new("client-visible QPS");
+    let mut store_series = Series::new("store QPS");
+    let mut prev_client = 0.0;
+    let mut monotonic = true;
+    for &n in &scale.shard_counts {
+        let m = run_one(n, &scale);
+        println!(
+            "{n:>2} shard(s): store {:>9.0} q/s  shed {:>5.1}%  client-visible {:>9.0} q/s",
+            m.store_qps,
+            m.shed * 100.0,
+            m.client_qps
+        );
+        if n <= 4 && m.client_qps < prev_client {
+            monotonic = false;
+        }
+        if n <= 4 {
+            prev_client = m.client_qps;
+        }
+        client_series.push(n as f64, m.client_qps);
+        store_series.push(n as f64, m.store_qps);
+    }
+    fig.add(client_series);
+    fig.add(store_series);
+    fig.print();
+    fig.save().expect("save");
+    assert!(
+        monotonic,
+        "client-visible QPS must scale monotonically across 1 -> 2 -> 4 shards"
+    );
+    println!("scaling 1 -> 2 -> 4 shards is monotonic");
+}

@@ -18,9 +18,9 @@ use moist::bigtable::{Bigtable, Timestamp};
 use moist::core::{MoistConfig, MoistServer, ObjectId, UpdateMessage};
 use moist::spatial::{Rect, Space};
 use moist::workload::{RoadMap, RoadMapConfig, RoadNetSim, SimConfig, UniformSim};
-use moist_bench::{disk_btree_profile, Figure, Series, STORE_WRITE_CAPACITY_OPS};
+use moist_bench::{disk_btree_profile, smoke_mode, Figure, Series, STORE_WRITE_CAPACITY_OPS};
 
-fn moist_update_qps(n: u64) -> f64 {
+fn moist_update_qps(n: u64, measured_updates: usize) -> f64 {
     let cfg = MoistConfig::without_schooling();
     let store = Bigtable::new();
     let mut server = MoistServer::new(&store, cfg).expect("server");
@@ -38,7 +38,7 @@ fn moist_update_qps(n: u64) -> f64 {
             .expect("register");
     }
     server.session_mut().reset();
-    let updates = sim.next_updates(30_000);
+    let updates = sim.next_updates(measured_updates);
     for u in &updates {
         server
             .update(&UpdateMessage {
@@ -52,7 +52,7 @@ fn moist_update_qps(n: u64) -> f64 {
     updates.len() as f64 / (server.elapsed_us() / 1e6)
 }
 
-fn bx_update_qps(n: u64) -> f64 {
+fn bx_update_qps(n: u64, measured_updates: usize) -> f64 {
     let store = Bigtable::new();
     let mut tree = BxTree::new(
         &store,
@@ -72,7 +72,7 @@ fn bx_update_qps(n: u64) -> f64 {
             .expect("insert");
     }
     session.reset();
-    let updates = sim.next_updates(30_000);
+    let updates = sim.next_updates(measured_updates);
     for u in &updates {
         tree.update(
             &mut session,
@@ -88,7 +88,7 @@ fn bx_update_qps(n: u64) -> f64 {
 
 /// The §1 shed claim, measured on the road network at school-friendly
 /// parameters (dense co-movement, generous ε — the deployment regime).
-fn shed_ratio() -> f64 {
+fn shed_ratio(agents: u64, horizon_secs: f64) -> f64 {
     let cfg = MoistConfig {
         epsilon: 50.0,
         delta_m: 2.0,
@@ -100,13 +100,13 @@ fn shed_ratio() -> f64 {
     let mut sim = RoadNetSim::new(
         RoadMap::new(RoadMapConfig::default()),
         SimConfig {
-            agents: 1000,
+            agents,
             seed: 77,
             ..SimConfig::default()
         },
     );
     let mut t = 0.0;
-    while t < 240.0 {
+    while t < horizon_secs {
         t += 10.0;
         for u in sim.advance_until(t) {
             server
@@ -126,18 +126,26 @@ fn shed_ratio() -> f64 {
 }
 
 fn main() {
-    println!("measuring single-server update QPS at 1M objects...");
-    let moist_qps = moist_update_qps(1_000_000);
-    let bx_qps = bx_update_qps(1_000_000);
-    println!("measuring road-network shed ratio (1000 objects, 240 s)...");
-    let shed = shed_ratio();
+    // Smoke mode (CI): a small population and few updates — the numbers
+    // drift from the paper's but every code path still runs end to end.
+    let smoke = smoke_mode();
+    let (population, measured, shed_agents, shed_secs) = if smoke {
+        (60_000, 5_000, 300, 120.0)
+    } else {
+        (1_000_000, 30_000, 1000, 240.0)
+    };
+    println!("measuring single-server update QPS at {population} objects...");
+    let moist_qps = moist_update_qps(population, measured);
+    let bx_qps = bx_update_qps(population, measured);
+    println!("measuring road-network shed ratio ({shed_agents} objects, {shed_secs} s)...");
+    let shed = shed_ratio(shed_agents, shed_secs);
 
     let ten_server_store_qps = (10.0 * moist_qps).min(STORE_WRITE_CAPACITY_OPS);
     let effective_qps = ten_server_store_qps / (1.0 - shed).max(0.05);
 
     let mut fig = Figure::new(
-        "headline",
-        "Headline update-QPS comparison (1M objects)",
+        if smoke { "headline_smoke" } else { "headline" },
+        format!("Headline update-QPS comparison ({population} objects)"),
         "row",
         "updates/s",
     );

@@ -113,6 +113,19 @@ impl Figure {
     }
 }
 
+/// Whether the current invocation asked for smoke mode (`--smoke` on the
+/// command line or `MOIST_SMOKE=1`): tiny populations and few ticks, for
+/// CI runs that only check the bins still work and archive their JSON.
+///
+/// Bins in smoke mode save under a `<id>_smoke` figure id so quick runs
+/// never clobber full-scale results in `bench_results/`.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("MOIST_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
 fn truncate(s: &str, n: usize) -> &str {
     match s.char_indices().nth(n) {
         Some((i, _)) => &s[..i],

@@ -24,7 +24,8 @@ use crate::tables::{MoistTables, SpatialEntry};
 use moist_bigtable::{RowMutation, Session, Timestamp};
 use moist_spatial::{cells_at_level, CellId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Outcome and phase timing of clustering one cell.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -240,42 +241,111 @@ pub fn cluster_sweep(
     Ok(total)
 }
 
+/// Deterministic owner shard of clustering cell `index` when the schedule
+/// is partitioned across `n_shards` front-end servers.
+///
+/// A splitmix64 finalizer decorrelates curve-adjacent cells, so hot
+/// geographic regions (contiguous curve ranges) spread across shards
+/// instead of landing on one.
+pub fn cell_owner(index: u64, n_shards: usize) -> usize {
+    let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % n_shards.max(1) as u64) as usize
+}
+
 /// Tracks per-cell clustering deadlines so servers can run lazy clustering
 /// on the configured interval `T_c`.
+///
+/// Deadlines live in a min-heap keyed by due time, so [`due_cells`] is
+/// `O(due · log owned)` rather than a full sweep of every cell, and a cell
+/// re-arms from its *missed deadline* (advanced by whole intervals past
+/// `now`), so late callers do not drift the schedule's phase.
+///
+/// In a [`crate::cluster_tier::MoistCluster`] each shard holds a
+/// [`partitioned`](ClusterScheduler::partitioned) scheduler that owns the
+/// cells hashing to it via [`cell_owner`]; the shards' owned sets form an
+/// exact partition of the clustering level, so every cell is clustered by
+/// exactly one shard.
+///
+/// [`due_cells`]: ClusterScheduler::due_cells
 #[derive(Debug)]
 pub struct ClusterScheduler {
-    interval: f64,
+    interval_us: u64,
     level: u8,
-    next_due_secs: Vec<f64>,
+    shard: usize,
+    n_shards: usize,
+    /// Min-heap of `(due_us, cell index)` for the owned cells.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
 impl ClusterScheduler {
-    /// Creates a scheduler for `cfg`'s clustering level and interval.
+    /// Creates a scheduler owning every cell of `cfg`'s clustering level.
     pub fn new(cfg: &MoistConfig) -> Self {
-        let n = cells_at_level(cfg.clustering_level) as usize;
+        Self::partitioned(cfg, 0, 1)
+    }
+
+    /// Creates the scheduler for shard `shard` of `n_shards`: it owns the
+    /// clustering cells with `cell_owner(index, n_shards) == shard`.
+    ///
+    /// First deadlines are staggered by global cell index so cells do not
+    /// all fire at once (the paper clusters cells sequentially for the same
+    /// reason); the stagger is identical no matter how many shards split
+    /// the level.
+    pub fn partitioned(cfg: &MoistConfig, shard: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        assert!(shard < n_shards, "shard {shard} out of {n_shards}");
+        let n = cells_at_level(cfg.clustering_level);
+        let interval_us = (cfg.cluster_interval_secs * 1e6) as u64;
+        // 128-bit multiply before the divide: at fine levels `n` exceeds
+        // `interval_us` and the naive `interval_us / n * i` truncates every
+        // stagger to 0, re-creating the thundering herd.
+        let stagger = |i: u64| (interval_us as u128 * i as u128 / n.max(1) as u128) as u64;
+        let heap = (0..n)
+            .filter(|&i| cell_owner(i, n_shards) == shard)
+            .map(|i| Reverse((interval_us + stagger(i), i)))
+            .collect();
         ClusterScheduler {
-            interval: cfg.cluster_interval_secs,
+            interval_us: interval_us.max(1),
             level: cfg.clustering_level,
-            // Stagger first deadlines so cells do not all fire at once
-            // (the paper clusters cells sequentially for the same reason).
-            next_due_secs: (0..n)
-                .map(|i| cfg.cluster_interval_secs * (1.0 + i as f64 / n.max(1) as f64))
-                .collect(),
+            shard,
+            n_shards,
+            heap,
         }
     }
 
-    /// Cells due for clustering at `now`, rescheduling them one interval out.
+    /// Whether this scheduler owns clustering cell `index`.
+    pub fn owns(&self, index: u64) -> bool {
+        cell_owner(index, self.n_shards) == self.shard
+    }
+
+    /// Number of clustering cells this scheduler owns.
+    pub fn owned_count(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Cells due for clustering at `now`, re-armed from their deadline.
+    ///
+    /// Each returned cell's next deadline is its missed one advanced by
+    /// whole intervals until it is strictly in the future: the phase of the
+    /// schedule is preserved without accumulating a catch-up backlog, and a
+    /// cell fires at most once per call.
     pub fn due_cells(&mut self, now: Timestamp) -> Vec<CellId> {
-        let now_s = now.as_secs_f64();
+        let now_us = now.0;
         let mut due = Vec::new();
-        for (i, next) in self.next_due_secs.iter_mut().enumerate() {
-            if now_s >= *next {
-                due.push(CellId {
-                    level: self.level,
-                    index: i as u64,
-                });
-                *next = now_s + self.interval;
+        while let Some(&Reverse((due_us, index))) = self.heap.peek() {
+            if due_us > now_us {
+                break;
             }
+            self.heap.pop();
+            due.push(CellId {
+                level: self.level,
+                index,
+            });
+            let missed = (now_us - due_us) / self.interval_us + 1;
+            self.heap
+                .push(Reverse((due_us + missed * self.interval_us, index)));
         }
         due
     }
@@ -488,8 +558,70 @@ mod tests {
             fired += sched.due_cells(Timestamp::from_secs(t)).len();
         }
         assert_eq!(fired, 4);
-        // They re-arm one interval after their last firing.
+        // They re-arm one interval past their deadline.
         let more = sched.due_cells(Timestamp::from_secs(40)).len();
         assert_eq!(more, 4);
+    }
+
+    #[test]
+    fn scheduler_rearms_from_deadline_not_call_time() {
+        let cfg = MoistConfig {
+            clustering_level: 0, // one cell, first due at 10 s
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut sched = ClusterScheduler::new(&cfg);
+        // A caller 3 s late: the cell fires, and the schedule keeps its
+        // phase (next deadline 20 s, not 23 s).
+        assert_eq!(sched.due_cells(Timestamp::from_secs(13)).len(), 1);
+        assert!(sched.due_cells(Timestamp::from_secs(19)).is_empty());
+        assert_eq!(sched.due_cells(Timestamp::from_secs(20)).len(), 1);
+        // A caller several intervals late gets the cell once, not a
+        // backlog of catch-up firings; phase is still preserved.
+        assert_eq!(sched.due_cells(Timestamp::from_secs(57)).len(), 1);
+        assert!(sched.due_cells(Timestamp::from_secs(59)).is_empty());
+        assert_eq!(sched.due_cells(Timestamp::from_secs(60)).len(), 1);
+    }
+
+    #[test]
+    fn partitioned_schedulers_cover_each_cell_exactly_once() {
+        let cfg = MoistConfig {
+            clustering_level: 4, // 256 cells
+            ..MoistConfig::default()
+        };
+        for n_shards in [1usize, 2, 3, 5] {
+            let scheds: Vec<ClusterScheduler> = (0..n_shards)
+                .map(|s| ClusterScheduler::partitioned(&cfg, s, n_shards))
+                .collect();
+            let total: usize = scheds.iter().map(|s| s.owned_count()).sum();
+            assert_eq!(total, 256, "{n_shards} shards must partition the level");
+            for index in 0..256u64 {
+                let owners = scheds.iter().filter(|s| s.owns(index)).count();
+                assert_eq!(owners, 1, "cell {index} with {n_shards} shards");
+                assert!(scheds[cell_owner(index, n_shards)].owns(index));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_schedulers_fire_owned_cells_only() {
+        let cfg = MoistConfig {
+            clustering_level: 3, // 64 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut scheds: Vec<ClusterScheduler> = (0..4)
+            .map(|s| ClusterScheduler::partitioned(&cfg, s, 4))
+            .collect();
+        // Past every staggered first deadline (they all lie in [T, 2T)).
+        let now = Timestamp::from_secs(25);
+        let mut seen = std::collections::HashSet::new();
+        for (shard, sched) in scheds.iter_mut().enumerate() {
+            for cell in sched.due_cells(now) {
+                assert_eq!(cell_owner(cell.index, 4), shard);
+                assert!(seen.insert(cell.index), "cell {} fired twice", cell.index);
+            }
+        }
+        assert_eq!(seen.len(), 64, "every cell fires exactly once");
     }
 }

@@ -1,0 +1,380 @@
+//! The sharded multi-server front-end tier (§4.3.3).
+//!
+//! The paper's headline numbers are *fleet* numbers: 5 and 10 front-end
+//! servers share one BigTable and split the update stream between them.
+//! [`MoistCluster`] is that deployment shape: it owns N [`MoistServer`]
+//! shards over one shared [`Bigtable`] and routes every operation to a
+//! shard by **clustering-cell hash** ([`cell_owner`] over the cell of the
+//! operation's location at the configured clustering level).
+//!
+//! Routing by clustering cell buys two invariants:
+//!
+//! * **Clustering exclusivity** — each shard's [`ClusterScheduler`] is
+//!   [`partitioned`](ClusterScheduler::partitioned) over the same hash, so
+//!   every clustering cell is lazily clustered by *exactly one* shard
+//!   (naively running `run_due_clustering` on N servers clusters the whole
+//!   map N times over).
+//! * **School-merge locality** — school merges only ever happen between
+//!   leaders of one clustering cell, and all updates for a cell serialize
+//!   through its owner shard, so a school is never torn by two shards
+//!   rewriting it concurrently.
+//!
+//! The shards share one cluster-wide object-count estimate (FLAG's `n`),
+//! seeded from the store, so a shard that joins an already-populated store
+//! guesses sensible NN levels from its first query.
+//!
+//! Shards are individually locked: concurrent clients contend per shard,
+//! not on the whole tier, and operations on different shards proceed in
+//! parallel on real OS threads (drive it with
+//! `moist_workload::ClientPool`).
+//!
+//! ```
+//! use moist_bigtable::{Bigtable, Timestamp};
+//! use moist_core::{MoistCluster, MoistConfig, ObjectId, UpdateMessage};
+//! use moist_spatial::{Point, Velocity};
+//!
+//! let store = Bigtable::new();
+//! let cluster = MoistCluster::new(&store, MoistConfig::default(), 4)?;
+//! cluster.update(&UpdateMessage {
+//!     oid: ObjectId(1),
+//!     loc: Point::new(420.0, 500.0),
+//!     vel: Velocity::new(1.8, 0.0),
+//!     ts: Timestamp::from_secs(10),
+//! })?;
+//! // Any front-end answers queries over the whole map.
+//! let (nn, _) = cluster.nn(Point::new(400.0, 500.0), 1, Timestamp::from_secs(11))?;
+//! assert_eq!(nn[0].oid, ObjectId(1));
+//! # Ok::<(), moist_core::MoistError>(())
+//! ```
+
+use crate::cluster::{cell_owner, ClusterReport, ClusterScheduler};
+use crate::config::MoistConfig;
+use crate::error::Result;
+use crate::ids::ObjectId;
+use crate::nn::{Neighbor, NnStats};
+use crate::region::RegionStats;
+use crate::server::{MoistServer, ServerStats};
+use crate::update::{UpdateMessage, UpdateOutcome};
+use moist_archive::PppArchiver;
+use moist_bigtable::{Bigtable, Timestamp};
+use moist_spatial::{CellId, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A sharded tier of MOIST front-end servers over one shared store.
+pub struct MoistCluster {
+    cfg: MoistConfig,
+    shards: Vec<Mutex<MoistServer>>,
+    /// Cluster-wide object-count estimate shared by every shard's FLAG.
+    object_estimate: Arc<AtomicU64>,
+}
+
+impl MoistCluster {
+    /// Opens (or on first use creates) the MOIST tables in `store` and
+    /// builds a tier of `shards` front-end servers around them.
+    ///
+    /// Each shard gets a partitioned clustering schedule and the shared
+    /// object-count estimate (seeded from the store's row count, so a tier
+    /// over a populated store starts with the right FLAG `n`).
+    pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig, shards: usize) -> Result<Self> {
+        let shards = shards.max(1);
+        let object_estimate = Arc::new(AtomicU64::new(0));
+        let shards: Vec<Mutex<MoistServer>> = (0..shards)
+            .map(|i| {
+                Ok(Mutex::new(
+                    MoistServer::new(store, cfg)?
+                        .with_scheduler(ClusterScheduler::partitioned(&cfg, i, shards))
+                        .with_shared_estimate(Arc::clone(&object_estimate)),
+                ))
+            })
+            .collect::<Result<_>>()?;
+        Ok(MoistCluster {
+            cfg,
+            shards,
+            object_estimate,
+        })
+    }
+
+    /// Attaches one PPP archiver to every shard: all non-shed location
+    /// writes stream into the shared aged-data pipeline.
+    pub fn with_archiver(self, archiver: Arc<PppArchiver>) -> Self {
+        let shards = self
+            .shards
+            .into_iter()
+            .map(|m| Mutex::new(m.into_inner().with_archiver(Arc::clone(&archiver))))
+            .collect();
+        MoistCluster { shards, ..self }
+    }
+
+    /// Number of front-end shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tier's configuration.
+    pub fn config(&self) -> &MoistConfig {
+        &self.cfg
+    }
+
+    /// Cluster-wide object-count estimate (FLAG's `n`).
+    pub fn object_estimate(&self) -> u64 {
+        self.object_estimate.load(Ordering::Relaxed)
+    }
+
+    /// The shard owning the clustering cell containing `p`.
+    pub fn shard_for_point(&self, p: &Point) -> usize {
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, p);
+        cell_owner(cell.index, self.shards.len())
+    }
+
+    /// The shard owning clustering cell `cell` (coarser or finer cells are
+    /// mapped through their ancestor/descendant at the clustering level).
+    pub fn shard_for_cell(&self, cell: CellId) -> usize {
+        let index = if cell.level >= self.cfg.clustering_level {
+            cell.index >> (2 * (cell.level - self.cfg.clustering_level) as u64)
+        } else {
+            cell.index << (2 * (self.cfg.clustering_level - cell.level) as u64)
+        };
+        cell_owner(index, self.shards.len())
+    }
+
+    /// The shard answering object-keyed lookups for `oid` (pure load
+    /// spreading — any shard could serve them from the shared store).
+    pub fn shard_for_object(&self, oid: ObjectId) -> usize {
+        cell_owner(oid.0, self.shards.len())
+    }
+
+    /// Runs `f` against one shard's server (stats inspection, clock
+    /// resets, direct table access in tests).
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut MoistServer) -> R) -> R {
+        f(&mut self.shards[shard].lock())
+    }
+
+    /// Applies one update on the shard owning the update's clustering cell.
+    pub fn update(&self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
+        self.shards[self.shard_for_point(&msg.loc)]
+            .lock()
+            .update(msg)
+    }
+
+    /// FLAG-tuned k-nearest-neighbour query, routed by the query point's
+    /// clustering cell.
+    pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
+        self.shards[self.shard_for_point(&center)]
+            .lock()
+            .nn(center, k, at)
+    }
+
+    /// k-NN at a fixed search level, routed like [`MoistCluster::nn`].
+    pub fn nn_at_level(
+        &self,
+        center: Point,
+        k: usize,
+        at: Timestamp,
+        nn_level: u8,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        self.shards[self.shard_for_point(&center)]
+            .lock()
+            .nn_at_level(center, k, at, nn_level)
+    }
+
+    /// Region query routed by the rectangle's centre.
+    pub fn region(
+        &self,
+        rect: &Rect,
+        at: Timestamp,
+        margin: f64,
+    ) -> Result<(Vec<Neighbor>, RegionStats)> {
+        self.shards[self.shard_for_point(&rect.center())]
+            .lock()
+            .region(rect, at, margin)
+    }
+
+    /// Current position of one object, routed by object id.
+    pub fn position(&self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
+        self.shards[self.shard_for_object(oid)]
+            .lock()
+            .position(oid, at)
+    }
+
+    /// Runs lazy clustering on one shard: only the cells that shard owns
+    /// and that are due fire, so across shards each cell is clustered by
+    /// exactly one server. Workers call this for "their" shard on a tick.
+    pub fn run_due_clustering_shard(&self, shard: usize, now: Timestamp) -> Result<ClusterReport> {
+        self.shards[shard].lock().run_due_clustering(now)
+    }
+
+    /// Runs lazy clustering on every shard in turn (single-driver mode).
+    pub fn run_due_clustering(&self, now: Timestamp) -> Result<ClusterReport> {
+        let mut total = ClusterReport::default();
+        for shard in &self.shards {
+            total.merge_from(&shard.lock().run_due_clustering(now)?);
+        }
+        Ok(total)
+    }
+
+    /// Ages out cold records. The aging columns are table-global, so this
+    /// runs once (through shard 0), not once per shard.
+    pub fn age_data(&self, now: Timestamp) -> Result<usize> {
+        self.shards[0].lock().age_data(now)
+    }
+
+    /// Aggregate operation counters across all shards.
+    pub fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in &self.shards {
+            total.merge_from(&shard.lock().stats());
+        }
+        total
+    }
+
+    /// Per-shard operation counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ServerStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Per-shard virtual elapsed microseconds, in shard order.
+    pub fn shard_elapsed_us(&self) -> Vec<f64> {
+        self.shards.iter().map(|s| s.lock().elapsed_us()).collect()
+    }
+
+    /// Virtual elapsed microseconds of the busiest shard — the tier's
+    /// makespan, since shards consume store time in parallel.
+    pub fn max_elapsed_us(&self) -> f64 {
+        self.shard_elapsed_us().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Sum of all shards' virtual elapsed microseconds (total store work).
+    pub fn total_elapsed_us(&self) -> f64 {
+        self.shard_elapsed_us().into_iter().sum()
+    }
+
+    /// Resets every shard's session clock (benches do this after warm-up).
+    pub fn reset_clocks(&self) {
+        for shard in &self.shards {
+            shard.lock().session_mut().reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moist_spatial::{cells_at_level, Velocity};
+
+    fn msg(oid: u64, x: f64, y: f64, vx: f64, secs: f64) -> UpdateMessage {
+        UpdateMessage {
+            oid: ObjectId(oid),
+            loc: Point::new(x, y),
+            vel: Velocity::new(vx, 0.0),
+            ts: Timestamp::from_secs_f64(secs),
+        }
+    }
+
+    #[test]
+    fn routes_by_clustering_cell_and_serves_cross_shard_queries() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        // Spread objects over the whole map so several shards see traffic.
+        for i in 0..64u64 {
+            let x = 15.0 + 970.0 * (i % 8) as f64 / 8.0;
+            let y = 15.0 + 970.0 * (i / 8) as f64 / 8.0;
+            cluster.update(&msg(i, x, y, 1.0, 0.0)).unwrap();
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.updates, 64);
+        assert_eq!(stats.registered, 64);
+        assert_eq!(cluster.object_estimate(), 64);
+        let active = cluster
+            .shard_stats()
+            .iter()
+            .filter(|s| s.updates > 0)
+            .count();
+        assert!(active >= 2, "hash routing must spread load, got {active}");
+        // A query lands on one shard but sees every shard's writes.
+        let (nn, _) = cluster
+            .nn(Point::new(500.0, 500.0), 64, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(nn.len(), 64);
+        // Object-keyed reads work for every object from any routing.
+        for i in [0u64, 31, 63] {
+            assert!(cluster
+                .position(ObjectId(i), Timestamp::ZERO)
+                .unwrap()
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn same_cell_updates_always_hit_the_same_shard() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let cluster = MoistCluster::new(&store, cfg, 5).unwrap();
+        // Points in one clustering cell route identically; the routing
+        // agrees with scheduler ownership, so the shard applying a cell's
+        // updates is also the only one clustering it.
+        let p = Point::new(123.0, 456.0);
+        let shard = cluster.shard_for_point(&p);
+        let cell = cfg.space.cell_at(cfg.clustering_level, &p);
+        assert_eq!(cluster.shard_for_cell(cell), shard);
+        let leaf = cfg.space.leaf_cell(&p);
+        assert_eq!(cluster.shard_for_cell(leaf), shard);
+        assert!(cluster.with_shard(shard, |s| s.scheduler().owns(cell.index)));
+        for other in 0..cluster.num_shards() {
+            if other != shard {
+                assert!(!cluster.with_shard(other, |s| s.scheduler().owns(cell.index)));
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_partition_covers_level_exactly_once() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        let owned: usize = (0..cluster.num_shards())
+            .map(|i| cluster.with_shard(i, |s| s.scheduler().owned_count()))
+            .sum();
+        assert_eq!(owned as u64, cells_at_level(cfg.clustering_level));
+        // One sweep past every staggered deadline: each cell fires once,
+        // on its owner, so total runs equal the cell count exactly.
+        let now = Timestamp::from_secs(25);
+        for i in 0..cluster.num_shards() {
+            cluster.run_due_clustering_shard(i, now).unwrap();
+        }
+        assert_eq!(
+            cluster.stats().cluster_runs,
+            cells_at_level(cfg.clustering_level)
+        );
+    }
+
+    #[test]
+    fn schools_form_and_shed_through_the_tier() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 2,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 3).unwrap();
+        // Two co-moving objects in one cell.
+        cluster.update(&msg(1, 100.0, 100.0, 1.0, 0.0)).unwrap();
+        cluster.update(&msg(2, 101.0, 100.0, 1.0, 0.0)).unwrap();
+        cluster
+            .run_due_clustering(Timestamp::from_secs(30))
+            .unwrap();
+        for t in 1..=10u64 {
+            let x = 101.0 + t as f64;
+            cluster.update(&msg(2, x, 100.0, 1.0, t as f64)).unwrap();
+        }
+        let stats = cluster.stats();
+        assert!(stats.shed >= 9, "stats: {stats:?}");
+        assert!(stats.balanced(), "counters must sum: {stats:?}");
+    }
+}

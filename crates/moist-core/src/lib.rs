@@ -13,7 +13,9 @@
 //! * [`cluster`] + [`hexgrid`] — lazy O(n) velocity clustering (§3.3.2);
 //! * [`nn`] — Algorithm 2 nearest-neighbour search (§3.4.1);
 //! * [`flag`] — Algorithms 3–4, the Fast Level Adaptive Grid (§3.4.2);
-//! * [`server`] — a front-end server tying everything together (§4.3).
+//! * [`server`] — a front-end server tying everything together (§4.3);
+//! * [`cluster_tier`] — the sharded multi-server tier: N servers over one
+//!   store, routing and clustering partitioned by cell hash (§4.3.3).
 //!
 //! ```
 //! use moist_bigtable::{Bigtable, Timestamp};
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod cluster_tier;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -50,7 +53,8 @@ pub mod server;
 pub mod tables;
 pub mod update;
 
-pub use cluster::{cluster_cell, cluster_sweep, ClusterReport, ClusterScheduler};
+pub use cluster::{cell_owner, cluster_cell, cluster_sweep, ClusterReport, ClusterScheduler};
+pub use cluster_tier::MoistCluster;
 pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};
 pub use error::{MoistError, Result};

@@ -212,6 +212,13 @@ pub fn nn_query(
     }
     candidates.retain(|n| n.distance <= opts.max_distance);
     candidates.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    // One sighting per object (the nearest). In a multi-server tier a
+    // clustering merge on one shard can race with the object's own update
+    // on another, so an object transiently shows up both as a spatial
+    // entry and inside a school expansion; queries must not report it
+    // twice (the region query dedups the same way).
+    let mut reported: HashSet<ObjectId> = HashSet::new();
+    candidates.retain(|n| reported.insert(n.oid));
     candidates.truncate(opts.k);
     stats.cost_us = s.elapsed_us() - cost0;
     Ok((candidates, stats))

@@ -9,7 +9,7 @@
 
 use crate::cluster::{cluster_cell, ClusterReport, ClusterScheduler};
 use crate::config::MoistConfig;
-use crate::error::Result;
+use crate::error::{MoistError, Result};
 use crate::flag::{FlagStats, FlagTuner};
 use crate::ids::ObjectId;
 use crate::nn::{nn_query, Neighbor, NnOptions, NnStats};
@@ -17,10 +17,15 @@ use crate::school::estimated_location;
 use crate::tables::MoistTables;
 use crate::update::{apply_update, UpdateMessage, UpdateOutcome};
 use moist_archive::{HistoryRecord, PppArchiver, QueryCost};
-use moist_bigtable::{Bigtable, Session, Timestamp};
+use moist_bigtable::{Bigtable, BigtableError, Session, Timestamp};
 use moist_spatial::Point;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Updates processed between lazy re-seeds of the object estimate from the
+/// store's row count (which sees other servers' registrations too).
+const ESTIMATE_REFRESH_OPS: u64 = 1024;
 
 /// Per-server operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -50,6 +55,24 @@ impl ServerStats {
             self.shed as f64 / self.updates as f64
         }
     }
+
+    /// Whether the per-outcome counters account for every update received
+    /// (each update is exactly one of shed / leader / registered /
+    /// departed — the cluster-tier consistency invariant).
+    pub fn balanced(&self) -> bool {
+        self.shed + self.leader_updates + self.registered + self.departures == self.updates
+    }
+
+    /// Accumulates another server's counters (cluster-tier aggregation).
+    pub fn merge_from(&mut self, other: &ServerStats) {
+        self.updates += other.updates;
+        self.shed += other.shed;
+        self.leader_updates += other.leader_updates;
+        self.registered += other.registered;
+        self.departures += other.departures;
+        self.nn_queries += other.nn_queries;
+        self.cluster_runs += other.cluster_runs;
+    }
 }
 
 /// One MOIST front-end server.
@@ -61,8 +84,34 @@ pub struct MoistServer {
     scheduler: ClusterScheduler,
     archiver: Option<Arc<PppArchiver>>,
     stats: ServerStats,
-    /// Object-count estimate for FLAG's initial guess, refreshed lazily.
-    object_estimate: u64,
+    /// Object-count estimate for FLAG's initial guess. Seeded from the
+    /// store on construction (a server joining an already-populated store
+    /// must not feed FLAG `n = 1`), bumped on local registrations, and
+    /// lazily re-seeded from the store row count every
+    /// [`ESTIMATE_REFRESH_OPS`] updates so remote registrations show up
+    /// too. Shared across shards in a cluster tier.
+    object_estimate: Arc<AtomicU64>,
+    /// Updates since the estimate was last re-seeded from the store.
+    estimate_staleness: u64,
+}
+
+/// Opens the MOIST tables, creating them only when genuinely missing.
+///
+/// Schema or decode errors from `open` propagate instead of being masked
+/// by a doomed `create` attempt; losing the creation race to a concurrent
+/// server (`TableExists`) falls back to re-opening what the winner built.
+fn open_or_create_tables(store: &Arc<Bigtable>, cfg: &MoistConfig) -> Result<MoistTables> {
+    match MoistTables::open(store) {
+        Ok(t) => Ok(t),
+        Err(MoistError::Store(BigtableError::UnknownTable(_))) => {
+            match MoistTables::create(store, cfg) {
+                Ok(t) => Ok(t),
+                Err(MoistError::Store(BigtableError::TableExists(_))) => MoistTables::open(store),
+                Err(e) => Err(e),
+            }
+        }
+        Err(e) => Err(e),
+    }
 }
 
 impl MoistServer {
@@ -70,17 +119,18 @@ impl MoistServer {
     /// builds a server around them.
     pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig) -> Result<Self> {
         cfg.validate()?;
-        let tables = match MoistTables::open(store) {
-            Ok(t) => t,
-            Err(_) => MoistTables::create(store, &cfg)?,
-        };
+        let tables = open_or_create_tables(store, &cfg)?;
+        // One affiliation row per object ever seen: the store's estimate is
+        // the right FLAG seed even when this server joins late.
+        let seed = tables.affiliation.approx_row_count();
         Ok(MoistServer {
             flag: FlagTuner::new(&cfg),
             scheduler: ClusterScheduler::new(&cfg),
             session: store.session(),
             archiver: None,
             stats: ServerStats::default(),
-            object_estimate: 0,
+            object_estimate: Arc::new(AtomicU64::new(seed)),
+            estimate_staleness: 0,
             tables,
             cfg,
         })
@@ -90,6 +140,25 @@ impl MoistServer {
     /// streamed into the aged-data pipeline.
     pub fn with_archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
         self.archiver = Some(archiver);
+        self
+    }
+
+    /// Replaces the clustering scheduler (a cluster tier hands each shard a
+    /// [`ClusterScheduler::partitioned`] slice of the clustering level).
+    pub fn with_scheduler(mut self, scheduler: ClusterScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Shares a cluster-wide object-count estimate: the handed-in counter
+    /// absorbs this server's current estimate and replaces it, so all
+    /// shards feed FLAG the same `n`.
+    pub fn with_shared_estimate(mut self, estimate: Arc<AtomicU64>) -> Self {
+        estimate.fetch_max(
+            self.object_estimate.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.object_estimate = estimate;
         self
     }
 
@@ -123,17 +192,43 @@ impl MoistServer {
         self.flag.stats()
     }
 
+    /// The clustering scheduler (ownership inspection for cluster tiers).
+    pub fn scheduler(&self) -> &ClusterScheduler {
+        &self.scheduler
+    }
+
+    /// Current object-count estimate feeding FLAG's initial level guess.
+    pub fn object_estimate(&self) -> u64 {
+        self.object_estimate.load(Ordering::Relaxed)
+    }
+
+    /// Re-seeds the object estimate from the store's row count immediately
+    /// (also runs lazily every [`ESTIMATE_REFRESH_OPS`] updates).
+    ///
+    /// `fetch_max`, not `store`: a plain store would erase a registration
+    /// another shard counted between our row-count read and the write.
+    /// Objects are never deleted, so the estimate only ever needs raising.
+    pub fn refresh_object_estimate(&mut self) -> u64 {
+        let n = self.tables.affiliation.approx_row_count();
+        self.estimate_staleness = 0;
+        self.object_estimate.fetch_max(n, Ordering::Relaxed).max(n)
+    }
+
     /// Applies one update (Algorithm 1), maintaining counters and feeding
     /// the archiver on the non-shed branches.
     pub fn update(&mut self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
         let outcome = apply_update(&mut self.session, &self.tables, &self.cfg, msg)?;
         self.stats.updates += 1;
+        self.estimate_staleness += 1;
+        if self.estimate_staleness >= ESTIMATE_REFRESH_OPS {
+            self.refresh_object_estimate();
+        }
         match outcome {
             UpdateOutcome::Shed => self.stats.shed += 1,
             UpdateOutcome::LeaderUpdated => self.stats.leader_updates += 1,
             UpdateOutcome::Registered => {
                 self.stats.registered += 1;
-                self.object_estimate += 1;
+                self.object_estimate.fetch_add(1, Ordering::Relaxed);
             }
             UpdateOutcome::Departed { .. } => self.stats.departures += 1,
         }
@@ -155,7 +250,7 @@ impl MoistServer {
         k: usize,
         at: Timestamp,
     ) -> Result<(Vec<Neighbor>, NnStats)> {
-        let n = self.object_estimate.max(1);
+        let n = self.object_estimate().max(1);
         let level =
             self.flag
                 .best_level(&mut self.session, &self.tables, &self.cfg, &center, n, at)?;
@@ -189,7 +284,7 @@ impl MoistServer {
     /// FLAG-tuned NN level for `loc` at `at` (exposed for the Figure 12
     /// benches that compare FLAG against fixed levels).
     pub fn flag_level(&mut self, loc: &Point, at: Timestamp) -> Result<u8> {
-        let n = self.object_estimate.max(1);
+        let n = self.object_estimate().max(1);
         self.flag
             .best_level(&mut self.session, &self.tables, &self.cfg, loc, n, at)
     }
@@ -333,6 +428,65 @@ mod tests {
         assert_eq!(pos, Point::new(100.0, 100.0));
         let (nn, _) = b.nn(Point::new(100.0, 100.0), 1, Timestamp::ZERO).unwrap();
         assert_eq!(nn[0].oid, ObjectId(1));
+    }
+
+    #[test]
+    fn late_joining_server_seeds_object_estimate_from_store() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let mut a = MoistServer::new(&store, cfg).unwrap();
+        for i in 0..50u64 {
+            a.update(&msg(i, 100.0 + i as f64, 500.0, 1.0, 0.0))
+                .unwrap();
+        }
+        assert_eq!(a.object_estimate(), 50);
+        // A server joining the populated store must not start from 0.
+        let mut b = MoistServer::new(&store, cfg).unwrap();
+        assert_eq!(b.object_estimate(), 50);
+        // Registrations seen elsewhere surface on refresh.
+        a.update(&msg(99, 900.0, 900.0, 1.0, 0.0)).unwrap();
+        assert_eq!(b.refresh_object_estimate(), 51);
+        // A shared counter keeps shards in sync without refreshes.
+        let shared = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut c = MoistServer::new(&store, cfg)
+            .unwrap()
+            .with_shared_estimate(Arc::clone(&shared));
+        let d = MoistServer::new(&store, cfg)
+            .unwrap()
+            .with_shared_estimate(Arc::clone(&shared));
+        c.update(&msg(100, 50.0, 50.0, 1.0, 0.0)).unwrap();
+        assert_eq!(d.object_estimate(), 52);
+    }
+
+    #[test]
+    fn new_creates_missing_tables_but_propagates_partial_schemas() {
+        use moist_bigtable::{ColumnFamily, TableSchema};
+        // Fresh store: tables are created.
+        let store = Bigtable::new();
+        assert!(MoistServer::new(&store, MoistConfig::default()).is_ok());
+        // Existing tables: opened, not clobbered.
+        assert!(MoistServer::new(&store, MoistConfig::default()).is_ok());
+        // A store with only *some* MOIST tables is corrupt: `new` must
+        // surface an error instead of silently falling back to `create`
+        // (which would mask the real problem behind `TableExists`).
+        let partial = Bigtable::new();
+        partial
+            .create_table(
+                TableSchema::new(
+                    crate::config::table_names::LOCATION,
+                    vec![ColumnFamily::in_memory("wrong", 1)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let err = match MoistServer::new(&partial, MoistConfig::default()) {
+            Ok(_) => panic!("partial table set must not open cleanly"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, MoistError::Store(_)),
+            "partial schema must propagate, got {err:?}"
+        );
     }
 
     #[test]

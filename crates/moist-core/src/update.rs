@@ -159,6 +159,18 @@ fn promote_to_leader(
         msg.ts,
     ));
     tables.affiliation_batch(s, &batch)?;
+    // A promoted follower can still own a stale Spatial Index entry: when
+    // a clustering pass races with the object's own cross-cell move on
+    // another front-end shard, the merge demotes it to follower but
+    // deletes the entry at the leaf the clustering *scan* saw, not the one
+    // its last leader-path write created. That write also stamped the
+    // Location row with its leaf, so drop the entry there before
+    // re-inserting (same-leaf inserts simply overwrite).
+    if let Some((_, prev)) = tables.latest_location(s, msg.oid)? {
+        if prev.leaf_index != new_leaf {
+            tables.spatial_remove(s, prev.leaf_index, msg.oid)?;
+        }
+    }
     // Line 12: Location Table.
     tables.put_location(s, msg.oid, record, msg.ts)?;
     // Line 13: Spatial Index Table.
