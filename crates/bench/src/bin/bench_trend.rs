@@ -1,0 +1,168 @@
+//! Bench trajectory report: diffs the QPS figures a fresh smoke run just
+//! wrote against the previous run's archived JSON and prints a delta
+//! table in the job log.
+//!
+//! CI snapshots the committed `bench_results/*.json` before running the
+//! smoke bins, then invokes
+//!
+//! ```text
+//! bench_trend <previous_dir> <current_dir>
+//! ```
+//!
+//! Figures present in both directories are compared series by series,
+//! point by point. The report is informational — regressions are printed
+//! loudly (and summarised on exit) but never fail the job, because smoke
+//! runs on shared CI hardware wobble; the archived artifacts carry the
+//! long-run trajectory.
+
+use moist_bench::results_dir;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One parsed figure: `series label -> (x, y) points`.
+type FigureData = BTreeMap<String, Vec<(f64, f64)>>;
+
+fn load_dir(dir: &Path) -> BTreeMap<String, FigureData> {
+    let mut figures = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return figures;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str_value(&text).map_err(|e| e.to_string()))
+        {
+            Ok(value) => {
+                if let Some((id, data)) = parse_figure(&value) {
+                    figures.insert(id, data);
+                }
+            }
+            Err(e) => eprintln!("[bench_trend] skipping {}: {e}", path.display()),
+        }
+    }
+    figures
+}
+
+/// Extracts `(figure id, series data)` from one `Figure` JSON document.
+fn parse_figure(value: &Value) -> Option<(String, FigureData)> {
+    let id = value.get("id")?.as_str()?.to_string();
+    let mut data = FigureData::new();
+    for series in value.get("series")?.as_array()? {
+        let label = series.get("label")?.as_str()?.to_string();
+        let points = series
+            .get("points")?
+            .as_array()?
+            .iter()
+            .filter_map(|p| {
+                let p = p.as_array()?;
+                Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+            })
+            .collect();
+        data.insert(label, points);
+    }
+    Some((id, data))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (prev_dir, cur_dir) = match args.as_slice() {
+        [prev, cur] => (PathBuf::from(prev), PathBuf::from(cur)),
+        [prev] => (PathBuf::from(prev), results_dir()),
+        [] => (results_dir().join("prev"), results_dir()),
+        _ => {
+            eprintln!("usage: bench_trend [<previous_dir> [<current_dir>]]");
+            std::process::exit(2);
+        }
+    };
+    let prev = load_dir(&prev_dir);
+    let cur = load_dir(&cur_dir);
+    if prev.is_empty() {
+        println!(
+            "[bench_trend] no previous results under {} — current run becomes the baseline",
+            prev_dir.display()
+        );
+        return;
+    }
+
+    println!(
+        "=== bench trend: {} vs {} ===",
+        cur_dir.display(),
+        prev_dir.display()
+    );
+    println!(
+        "{:<22} {:<22} {:>9} {:>12} {:>12} {:>9}",
+        "figure", "series", "x", "previous", "current", "delta"
+    );
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (id, cur_fig) in &cur {
+        let Some(prev_fig) = prev.get(id) else {
+            println!("{id:<22} (new figure — no previous run to diff)");
+            continue;
+        };
+        for (label, cur_points) in cur_fig {
+            let Some(prev_points) = prev_fig.get(label) else {
+                println!("{id:<22} {label:<22} (new series)");
+                continue;
+            };
+            for &(x, y) in cur_points {
+                // Match points by x: series may gain or lose shard counts
+                // or time windows between runs.
+                let Some(&(_, py)) = prev_points.iter().find(|(px, _)| (px - x).abs() < 1e-9)
+                else {
+                    continue;
+                };
+                // A ~0 baseline has no meaningful percentage (e.g. an
+                // empty measurement window in a previous run): print the
+                // raw values honestly instead of a misleading +0.0%.
+                if py.abs() <= f64::EPSILON {
+                    println!(
+                        "{:<22} {:<22} {:>9.1} {:>12.1} {:>12.1} {:>9}",
+                        truncate(id, 22),
+                        truncate(label, 22),
+                        x,
+                        py,
+                        y,
+                        "n/a"
+                    );
+                    continue;
+                }
+                let pct = (y - py) / py * 100.0;
+                compared += 1;
+                if pct < -10.0 {
+                    regressions += 1;
+                }
+                println!(
+                    "{:<22} {:<22} {:>9.1} {:>12.1} {:>12.1} {:>+8.1}%{}",
+                    truncate(id, 22),
+                    truncate(label, 22),
+                    x,
+                    py,
+                    y,
+                    pct,
+                    if pct < -10.0 { "  <-- regression?" } else { "" }
+                );
+            }
+        }
+    }
+    if compared == 0 {
+        println!("[bench_trend] no overlapping points between the two runs");
+    } else {
+        println!(
+            "[bench_trend] compared {compared} points; {regressions} dropped more than 10% \
+             (informational — smoke QPS wobbles on shared runners)"
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}

@@ -25,7 +25,7 @@ use moist_bigtable::{RowMutation, Session, Timestamp};
 use moist_spatial::{cells_at_level, CellId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Outcome and phase timing of clustering one cell.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -241,18 +241,49 @@ pub fn cluster_sweep(
     Ok(total)
 }
 
-/// Deterministic owner shard of clustering cell `index` when the schedule
-/// is partitioned across `n_shards` front-end servers.
-///
-/// A splitmix64 finalizer decorrelates curve-adjacent cells, so hot
-/// geographic regions (contiguous curve ranges) spread across shards
-/// instead of landing on one.
-pub fn cell_owner(index: u64, n_shards: usize) -> usize {
-    let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+/// Rendezvous weight of `(key, member)`: a splitmix64-style finalizer over
+/// the pair, so each member's weight stream is decorrelated both across
+/// keys (curve-adjacent hot cells spread out) and across members.
+fn rendezvous_weight(key: u64, member: u64) -> u64 {
+    let mut z = key
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(member.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z % n_shards.max(1) as u64) as usize
+    z ^ (z >> 31)
+}
+
+/// Rendezvous (highest-random-weight) owner of `key` among `members`
+/// (stable shard ids): the member whose hashed weight for this key is
+/// largest wins, ties broken towards the smaller id.
+///
+/// Unlike a modular hash over the member *count*, membership changes
+/// remap the minimum: adding a member steals only the keys it now wins
+/// (~`1/(N+1)` of them) and removing a member reassigns only the keys it
+/// owned — every other key's winner is untouched, because the surviving
+/// members' weights do not change. The result is also independent of the
+/// order of `members`.
+///
+/// Panics if `members` is empty (an empty cluster owns nothing).
+pub fn rendezvous_owner(key: u64, members: &[u64]) -> u64 {
+    rendezvous_max(key, members.iter().copied(), |&m| m).expect("rendezvous over empty membership")
+}
+
+/// The rendezvous winner of `key` among `members`, each identified by
+/// `id_of`. The single definition of winner selection — [`rendezvous_owner`]
+/// and the cluster tier's entry-based hot routing path both go through it,
+/// so routing and scheduler ownership can never disagree on a tie-break or
+/// weight change.
+pub(crate) fn rendezvous_max<T>(
+    key: u64,
+    members: impl Iterator<Item = T>,
+    id_of: impl Fn(&T) -> u64,
+) -> Option<T> {
+    members.max_by_key(|m| {
+        let id = id_of(m);
+        (rendezvous_weight(key, id), Reverse(id))
+    })
 }
 
 /// Tracks per-cell clustering deadlines so servers can run lazy clustering
@@ -263,19 +294,24 @@ pub fn cell_owner(index: u64, n_shards: usize) -> usize {
 /// re-arms from its *missed deadline* (advanced by whole intervals past
 /// `now`), so late callers do not drift the schedule's phase.
 ///
-/// In a [`crate::cluster_tier::MoistCluster`] each shard holds a
-/// [`partitioned`](ClusterScheduler::partitioned) scheduler that owns the
-/// cells hashing to it via [`cell_owner`]; the shards' owned sets form an
-/// exact partition of the clustering level, so every cell is clustered by
-/// exactly one shard.
+/// In a [`crate::cluster_tier::MoistCluster`] each shard holds the
+/// scheduler for the cells it wins under [`rendezvous_owner`]; the shards'
+/// owned sets form an exact partition of the clustering level, so every
+/// cell is clustered by exactly one shard. On a membership change the tier
+/// moves only the cells whose rendezvous winner changed, handing each
+/// cell's pending deadline from [`release`] on the old owner to [`adopt`]
+/// on the new one — the schedule's phase survives the migration, so a
+/// joining shard neither re-clusters everything at once nor skips a round.
 ///
 /// [`due_cells`]: ClusterScheduler::due_cells
+/// [`release`]: ClusterScheduler::release
+/// [`adopt`]: ClusterScheduler::adopt
 #[derive(Debug)]
 pub struct ClusterScheduler {
     interval_us: u64,
     level: u8,
-    shard: usize,
-    n_shards: usize,
+    /// The owned cell indices (mirrors the heap's contents).
+    owned: HashSet<u64>,
     /// Min-heap of `(due_us, cell index)` for the owned cells.
     heap: BinaryHeap<Reverse<(u64, u64)>>,
 }
@@ -283,46 +319,126 @@ pub struct ClusterScheduler {
 impl ClusterScheduler {
     /// Creates a scheduler owning every cell of `cfg`'s clustering level.
     pub fn new(cfg: &MoistConfig) -> Self {
-        Self::partitioned(cfg, 0, 1)
+        let n = cells_at_level(cfg.clustering_level);
+        Self::for_cells(cfg, 0..n)
     }
 
-    /// Creates the scheduler for shard `shard` of `n_shards`: it owns the
-    /// clustering cells with `cell_owner(index, n_shards) == shard`.
+    /// Creates a scheduler owning no cells (a freshly joined shard before
+    /// the tier migrates its rendezvous wins over via [`adopt`]).
     ///
-    /// First deadlines are staggered by global cell index so cells do not
-    /// all fire at once (the paper clusters cells sequentially for the same
-    /// reason); the stagger is identical no matter how many shards split
-    /// the level.
-    pub fn partitioned(cfg: &MoistConfig, shard: usize, n_shards: usize) -> Self {
-        let n_shards = n_shards.max(1);
-        assert!(shard < n_shards, "shard {shard} out of {n_shards}");
+    /// [`adopt`]: ClusterScheduler::adopt
+    pub fn empty(cfg: &MoistConfig) -> Self {
+        Self::for_cells(cfg, std::iter::empty())
+    }
+
+    /// Creates the scheduler for member `member` of the membership `ids`:
+    /// it owns the clustering cells whose [`rendezvous_owner`] over `ids`
+    /// is `member`.
+    pub fn for_member(cfg: &MoistConfig, member: u64, ids: &[u64]) -> Self {
+        let n = cells_at_level(cfg.clustering_level);
+        Self::for_cells(cfg, (0..n).filter(|&i| rendezvous_owner(i, ids) == member))
+    }
+
+    /// Creates a scheduler owning exactly `cells` (indices at `cfg`'s
+    /// clustering level).
+    ///
+    /// First deadlines are staggered by *global* cell index so cells do
+    /// not all fire at once (the paper clusters cells sequentially for the
+    /// same reason); the stagger is identical no matter how the level is
+    /// split across shards, so handing a cell between owners never shifts
+    /// its phase.
+    pub fn for_cells(cfg: &MoistConfig, cells: impl IntoIterator<Item = u64>) -> Self {
         let n = cells_at_level(cfg.clustering_level);
         let interval_us = (cfg.cluster_interval_secs * 1e6) as u64;
         // 128-bit multiply before the divide: at fine levels `n` exceeds
         // `interval_us` and the naive `interval_us / n * i` truncates every
         // stagger to 0, re-creating the thundering herd.
         let stagger = |i: u64| (interval_us as u128 * i as u128 / n.max(1) as u128) as u64;
-        let heap = (0..n)
-            .filter(|&i| cell_owner(i, n_shards) == shard)
+        let mut owned = HashSet::new();
+        let heap = cells
+            .into_iter()
+            .filter(|&i| owned.insert(i))
             .map(|i| Reverse((interval_us + stagger(i), i)))
             .collect();
         ClusterScheduler {
             interval_us: interval_us.max(1),
             level: cfg.clustering_level,
-            shard,
-            n_shards,
+            owned,
             heap,
         }
     }
 
     /// Whether this scheduler owns clustering cell `index`.
     pub fn owns(&self, index: u64) -> bool {
-        cell_owner(index, self.n_shards) == self.shard
+        self.owned.contains(&index)
     }
 
     /// Number of clustering cells this scheduler owns.
     pub fn owned_count(&self) -> usize {
         self.heap.len()
+    }
+
+    /// The owned cell indices, in no particular order.
+    pub fn owned_cells(&self) -> Vec<u64> {
+        self.owned.iter().copied().collect()
+    }
+
+    /// The pending deadline (virtual µs) of owned cell `index`, or `None`
+    /// if this scheduler does not own it.
+    pub fn deadline_of(&self, index: u64) -> Option<u64> {
+        self.heap
+            .iter()
+            .find(|Reverse((_, i))| *i == index)
+            .map(|Reverse((due, _))| *due)
+    }
+
+    /// Stops owning cell `index`, returning its pending deadline so the
+    /// new owner can [`adopt`](ClusterScheduler::adopt) the cell at the
+    /// same phase. Returns `None` (and changes nothing) if the cell was
+    /// not owned. `O(owned)` — membership changes are rare.
+    pub fn release(&mut self, index: u64) -> Option<u64> {
+        if !self.owned.remove(&index) {
+            return None;
+        }
+        let mut released = None;
+        let entries: Vec<_> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse((due, i))| {
+                if *i == index {
+                    released = Some(*due);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        released
+    }
+
+    /// Releases every owned cell, returning `(index, pending deadline)`
+    /// pairs — the handoff bundle of a shard leaving the tier.
+    pub fn drain(&mut self) -> Vec<(u64, u64)> {
+        self.owned.clear();
+        std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .map(|Reverse((due, i))| (i, due))
+            .collect()
+    }
+
+    /// Starts owning cell `index` with the pending deadline `due_us`
+    /// (virtual µs) — the counterpart of [`release`] on the cell's new
+    /// owner. Adopting preserves the cell's phase: its next clustering
+    /// fires exactly when it would have on the old owner, instead of
+    /// immediately (a thundering re-cluster) or an interval late (a missed
+    /// round). A no-op if the cell is already owned.
+    ///
+    /// [`release`]: ClusterScheduler::release
+    pub fn adopt(&mut self, index: u64, due_us: u64) {
+        if self.owned.insert(index) {
+            self.heap.push(Reverse((due_us, index)));
+        }
     }
 
     /// Cells due for clustering at `now`, re-armed from their deadline.
@@ -584,44 +700,119 @@ mod tests {
     }
 
     #[test]
-    fn partitioned_schedulers_cover_each_cell_exactly_once() {
+    fn rendezvous_owner_is_order_independent_and_total() {
+        let ids = [3u64, 11, 42, 7];
+        let mut reversed = ids;
+        reversed.reverse();
+        for key in 0..256u64 {
+            let owner = rendezvous_owner(key, &ids);
+            assert!(ids.contains(&owner));
+            assert_eq!(owner, rendezvous_owner(key, &reversed), "key {key}");
+        }
+        // Each member wins a non-trivial share (hash balance, not exact).
+        for &m in &ids {
+            let won = (0..256u64)
+                .filter(|&k| rendezvous_owner(k, &ids) == m)
+                .count();
+            assert!(won > 20, "member {m} won only {won}/256 cells");
+        }
+    }
+
+    #[test]
+    fn rendezvous_schedulers_cover_each_cell_exactly_once() {
         let cfg = MoistConfig {
             clustering_level: 4, // 256 cells
             ..MoistConfig::default()
         };
-        for n_shards in [1usize, 2, 3, 5] {
-            let scheds: Vec<ClusterScheduler> = (0..n_shards)
-                .map(|s| ClusterScheduler::partitioned(&cfg, s, n_shards))
+        for ids in [vec![0u64], vec![0, 1], vec![5, 9, 13], vec![2, 3, 5, 7, 11]] {
+            let scheds: Vec<ClusterScheduler> = ids
+                .iter()
+                .map(|&m| ClusterScheduler::for_member(&cfg, m, &ids))
                 .collect();
             let total: usize = scheds.iter().map(|s| s.owned_count()).sum();
-            assert_eq!(total, 256, "{n_shards} shards must partition the level");
+            assert_eq!(total, 256, "{ids:?} must partition the level");
             for index in 0..256u64 {
                 let owners = scheds.iter().filter(|s| s.owns(index)).count();
-                assert_eq!(owners, 1, "cell {index} with {n_shards} shards");
-                assert!(scheds[cell_owner(index, n_shards)].owns(index));
+                assert_eq!(owners, 1, "cell {index} with members {ids:?}");
+                let winner = rendezvous_owner(index, &ids);
+                let pos = ids.iter().position(|&m| m == winner).unwrap();
+                assert!(scheds[pos].owns(index));
             }
         }
     }
 
     #[test]
-    fn partitioned_schedulers_fire_owned_cells_only() {
+    fn rendezvous_schedulers_fire_owned_cells_only() {
         let cfg = MoistConfig {
             clustering_level: 3, // 64 cells
             cluster_interval_secs: 10.0,
             ..MoistConfig::default()
         };
-        let mut scheds: Vec<ClusterScheduler> = (0..4)
-            .map(|s| ClusterScheduler::partitioned(&cfg, s, 4))
+        let ids = [0u64, 1, 2, 3];
+        let mut scheds: Vec<ClusterScheduler> = ids
+            .iter()
+            .map(|&m| ClusterScheduler::for_member(&cfg, m, &ids))
             .collect();
         // Past every staggered first deadline (they all lie in [T, 2T)).
         let now = Timestamp::from_secs(25);
         let mut seen = std::collections::HashSet::new();
-        for (shard, sched) in scheds.iter_mut().enumerate() {
+        for (pos, sched) in scheds.iter_mut().enumerate() {
             for cell in sched.due_cells(now) {
-                assert_eq!(cell_owner(cell.index, 4), shard);
+                assert_eq!(rendezvous_owner(cell.index, &ids), ids[pos]);
                 assert!(seen.insert(cell.index), "cell {} fired twice", cell.index);
             }
         }
         assert_eq!(seen.len(), 64, "every cell fires exactly once");
+    }
+
+    #[test]
+    fn release_and_adopt_hand_a_cell_over_at_its_phase() {
+        let cfg = MoistConfig {
+            clustering_level: 2, // 16 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut old = ClusterScheduler::new(&cfg);
+        let mut joiner = ClusterScheduler::empty(&cfg);
+        assert_eq!(joiner.owned_count(), 0);
+        let due = old.deadline_of(5).unwrap();
+        assert_eq!(old.release(5), Some(due));
+        assert!(!old.owns(5));
+        assert_eq!(old.owned_count(), 15);
+        assert_eq!(old.release(5), None, "double release is a no-op");
+        joiner.adopt(5, due);
+        assert!(joiner.owns(5));
+        assert_eq!(joiner.deadline_of(5), Some(due), "phase survives handoff");
+        // Adopting an already-owned cell does not duplicate it.
+        joiner.adopt(5, due + 1);
+        assert_eq!(joiner.owned_count(), 1);
+        // The released cell never fires on the old owner again.
+        let fired: Vec<u64> = old
+            .due_cells(Timestamp::from_secs(1_000))
+            .iter()
+            .map(|c| c.index)
+            .collect();
+        assert!(!fired.contains(&5));
+        // …but fires on the joiner, at the handed-over deadline.
+        assert!(joiner.due_cells(Timestamp(due - 1)).is_empty());
+        assert_eq!(joiner.due_cells(Timestamp(due)).len(), 1);
+    }
+
+    #[test]
+    fn drain_returns_every_owned_cell_with_its_deadline() {
+        let cfg = MoistConfig {
+            clustering_level: 2, // 16 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut sched = ClusterScheduler::new(&cfg);
+        let expected: Vec<(u64, u64)> = (0..16u64)
+            .map(|i| (i, sched.deadline_of(i).unwrap()))
+            .collect();
+        let mut drained = sched.drain();
+        drained.sort_unstable();
+        assert_eq!(drained, expected);
+        assert_eq!(sched.owned_count(), 0);
+        assert!(sched.due_cells(Timestamp::from_secs(1_000)).is_empty());
     }
 }

@@ -4,20 +4,44 @@
 //! servers share one BigTable and split the update stream between them.
 //! [`MoistCluster`] is that deployment shape: it owns N [`MoistServer`]
 //! shards over one shared [`Bigtable`] and routes every operation to a
-//! shard by **clustering-cell hash** ([`cell_owner`] over the cell of the
+//! shard by **rendezvous hash** ([`crate::cluster::rendezvous_owner`] over the cell of the
 //! operation's location at the configured clustering level).
 //!
 //! Routing by clustering cell buys two invariants:
 //!
-//! * **Clustering exclusivity** — each shard's [`ClusterScheduler`] is
-//!   [`partitioned`](ClusterScheduler::partitioned) over the same hash, so
-//!   every clustering cell is lazily clustered by *exactly one* shard
-//!   (naively running `run_due_clustering` on N servers clusters the whole
-//!   map N times over).
+//! * **Clustering exclusivity** — each shard's [`ClusterScheduler`] owns
+//!   exactly the cells it wins under the same hash, so every clustering
+//!   cell is lazily clustered by *exactly one* shard (naively running
+//!   `run_due_clustering` on N servers clusters the whole map N times
+//!   over).
 //! * **School-merge locality** — school merges only ever happen between
 //!   leaders of one clustering cell, and all updates for a cell serialize
 //!   through its owner shard, so a school is never torn by two shards
 //!   rewriting it concurrently.
+//!
+//! ## Elastic membership
+//!
+//! The fleet can grow and shrink live. Membership is an epoch-stamped,
+//! read-mostly snapshot: each operation grabs an `Arc` of the current
+//! [`Membership`] (one brief read-lock), routes against it, and keeps the
+//! target shard alive through the `Arc` even if the membership changes
+//! mid-flight. [`add_shard`] and [`remove_shard`] bump the epoch and swap
+//! the snapshot. Updates additionally validate their routing against a
+//! membership seqlock after taking the owner's lock and re-route if an
+//! epoch bump raced them (see [`update`](MoistCluster::update)), so a
+//! write never lands on a migrated cell's old owner — no torn routing,
+//! no lost updates; read-only queries route on the snapshot alone.
+//!
+//! Because ownership is a **rendezvous** (highest-random-weight) hash over
+//! the stable shard *ids* — not a modular hash over the shard *count* —
+//! a membership change remaps the minimum: a join steals only the ~1/(N+1)
+//! of cells the newcomer now wins, a leave reassigns only the departed
+//! shard's cells, and every other cell's owner (and therefore its school
+//! state's home shard) is untouched. Each migrating cell's clustering
+//! deadline is handed over at its current phase
+//! ([`ClusterScheduler::release`] → [`ClusterScheduler::adopt`]), so a
+//! join causes neither a thundering re-cluster of the stolen cells nor a
+//! missed round.
 //!
 //! The shards share one cluster-wide object-count estimate (FLAG's `n`),
 //! seeded from the store, so a shard that joins an already-populated store
@@ -27,6 +51,9 @@
 //! not on the whole tier, and operations on different shards proceed in
 //! parallel on real OS threads (drive it with
 //! `moist_workload::ClientPool`).
+//!
+//! [`add_shard`]: MoistCluster::add_shard
+//! [`remove_shard`]: MoistCluster::remove_shard
 //!
 //! ```
 //! use moist_bigtable::{Bigtable, Timestamp};
@@ -41,15 +68,20 @@
 //!     vel: Velocity::new(1.8, 0.0),
 //!     ts: Timestamp::from_secs(10),
 //! })?;
+//! // Grow the fleet live: only the joiner's rendezvous wins migrate.
+//! let id = cluster.add_shard()?;
+//! assert_eq!(cluster.num_shards(), 5);
 //! // Any front-end answers queries over the whole map.
 //! let (nn, _) = cluster.nn(Point::new(400.0, 500.0), 1, Timestamp::from_secs(11))?;
 //! assert_eq!(nn[0].oid, ObjectId(1));
+//! // And shrink again: the departed shard's cells are re-adopted.
+//! cluster.remove_shard(id)?;
 //! # Ok::<(), moist_core::MoistError>(())
 //! ```
 
-use crate::cluster::{cell_owner, ClusterReport, ClusterScheduler};
+use crate::cluster::{rendezvous_max, ClusterReport, ClusterScheduler};
 use crate::config::MoistConfig;
-use crate::error::Result;
+use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
 use crate::nn::{Neighbor, NnStats};
 use crate::region::RegionStats;
@@ -57,59 +89,208 @@ use crate::server::{MoistServer, ServerStats};
 use crate::update::{UpdateMessage, UpdateOutcome};
 use moist_archive::PppArchiver;
 use moist_bigtable::{Bigtable, Timestamp};
-use moist_spatial::{CellId, Point, Rect};
-use parking_lot::Mutex;
+use moist_spatial::{cells_at_level, CellId, Point, Rect};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A sharded tier of MOIST front-end servers over one shared store.
+/// One live shard: its stable id plus the mutexed server.
+struct ShardEntry {
+    /// Stable shard id — never reused, survives other shards' churn.
+    id: u64,
+    server: Mutex<MoistServer>,
+}
+
+/// An immutable snapshot of the tier's membership at one epoch.
+///
+/// Operations route against one snapshot end to end; the `Arc`s keep a
+/// shard alive for in-flight operations even after it leaves the tier
+/// (its writes still land in the shared store, so nothing is lost).
+struct Membership {
+    /// Monotonic epoch, bumped by every join/leave.
+    epoch: u64,
+    /// Live shards, sorted by id (positions index this order).
+    shards: Vec<Arc<ShardEntry>>,
+}
+
+impl Membership {
+    fn ids(&self) -> Vec<u64> {
+        self.shards.iter().map(|e| e.id).collect()
+    }
+
+    fn position_of(&self, id: u64) -> Option<usize> {
+        self.shards.iter().position(|e| e.id == id)
+    }
+
+    /// The entry owning clustering-cell index `key` (rendezvous winner).
+    ///
+    /// Picks the winner directly over the entries — one scan, no id-list
+    /// allocation — because this sits on the per-operation hot path; the
+    /// selection is the shared [`rendezvous_max`], so it agrees with
+    /// [`crate::cluster::rendezvous_owner`] by definition.
+    fn owner_of(&self, key: u64) -> &Arc<ShardEntry> {
+        rendezvous_max(key, self.shards.iter(), |e| e.id).expect("membership is never empty")
+    }
+
+    fn entry(&self, shard: usize) -> Result<&Arc<ShardEntry>> {
+        self.shards.get(shard).ok_or_else(|| {
+            MoistError::NoSuchShard(format!(
+                "position {shard} out of {} live shards (epoch {})",
+                self.shards.len(),
+                self.epoch
+            ))
+        })
+    }
+}
+
+/// Bookkeeping for shards that left the tier: folded counters plus the
+/// entries that may still be referenced by in-flight operations.
+#[derive(Default)]
+struct RetiredShards {
+    /// Counters of retired shards whose last reference has dropped.
+    folded: ServerStats,
+    /// Retired entries possibly still held by in-flight snapshots.
+    entries: Vec<Arc<ShardEntry>>,
+}
+
+impl RetiredShards {
+    /// Folds quiescent entries (no outstanding in-flight `Arc`s, so their
+    /// counters can no longer move) into the aggregate and drops them.
+    fn compact(&mut self) {
+        self.entries.retain(|entry| {
+            if Arc::strong_count(entry) == 1 {
+                self.folded.merge_from(&entry.server.lock().stats());
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Total counters across folded and still-referenced retirees.
+    fn stats(&mut self) -> ServerStats {
+        self.compact();
+        let mut total = self.folded;
+        for entry in &self.entries {
+            total.merge_from(&entry.server.lock().stats());
+        }
+        total
+    }
+}
+
+/// A sharded tier of MOIST front-end servers over one shared store, with
+/// live shard join/leave (see the module docs for the membership design).
 pub struct MoistCluster {
     cfg: MoistConfig,
-    shards: Vec<Mutex<MoistServer>>,
+    store: Arc<Bigtable>,
+    /// Read-mostly membership snapshot; swapped whole on epoch bumps.
+    membership: RwLock<Arc<Membership>>,
+    /// Counters of shards that left the tier (their updates — absorbed
+    /// while live or in flight — must stay in [`stats`]). A departed
+    /// shard's entry lingers only until its last in-flight `Arc` drops,
+    /// then folds into the aggregate, so churn does not accumulate dead
+    /// servers.
+    ///
+    /// [`stats`]: MoistCluster::stats
+    retired: Mutex<RetiredShards>,
     /// Cluster-wide object-count estimate shared by every shard's FLAG.
     object_estimate: Arc<AtomicU64>,
+    /// Archiver handed to every current and future shard.
+    archiver: Option<Arc<PppArchiver>>,
+    /// Next stable shard id to assign.
+    next_shard_id: AtomicU64,
+    /// Seqlock guarding the update path against stale routing: odd while
+    /// a membership change is migrating cells, bumped to even once the new
+    /// snapshot is published. [`update`](MoistCluster::update) re-reads it
+    /// after taking the shard lock and re-routes if it moved, so a write
+    /// never lands on a cell's *old* owner concurrently with the new
+    /// owner clustering that cell.
+    version: AtomicU64,
 }
 
 impl MoistCluster {
     /// Opens (or on first use creates) the MOIST tables in `store` and
     /// builds a tier of `shards` front-end servers around them.
     ///
-    /// Each shard gets a partitioned clustering schedule and the shared
-    /// object-count estimate (seeded from the store's row count, so a tier
-    /// over a populated store starts with the right FLAG `n`).
+    /// Each shard gets the rendezvous slice of the clustering schedule it
+    /// wins and the shared object-count estimate (seeded from the store's
+    /// row count, so a tier over a populated store starts with the right
+    /// FLAG `n`).
     pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig, shards: usize) -> Result<Self> {
         let shards = shards.max(1);
         let object_estimate = Arc::new(AtomicU64::new(0));
-        let shards: Vec<Mutex<MoistServer>> = (0..shards)
-            .map(|i| {
-                Ok(Mutex::new(
-                    MoistServer::new(store, cfg)?
-                        .with_scheduler(ClusterScheduler::partitioned(&cfg, i, shards))
-                        .with_shared_estimate(Arc::clone(&object_estimate)),
-                ))
+        let ids: Vec<u64> = (0..shards as u64).collect();
+        let entries: Vec<Arc<ShardEntry>> = ids
+            .iter()
+            .map(|&id| {
+                Ok(Arc::new(ShardEntry {
+                    id,
+                    server: Mutex::new(
+                        MoistServer::new(store, cfg)?
+                            .with_scheduler(ClusterScheduler::for_member(&cfg, id, &ids))
+                            .with_shared_estimate(Arc::clone(&object_estimate)),
+                    ),
+                }))
             })
             .collect::<Result<_>>()?;
         Ok(MoistCluster {
             cfg,
-            shards,
+            store: Arc::clone(store),
+            membership: RwLock::new(Arc::new(Membership {
+                epoch: 0,
+                shards: entries,
+            })),
+            retired: Mutex::new(RetiredShards::default()),
             object_estimate,
+            archiver: None,
+            next_shard_id: AtomicU64::new(shards as u64),
+            version: AtomicU64::new(0),
         })
     }
 
-    /// Attaches one PPP archiver to every shard: all non-shed location
-    /// writes stream into the shared aged-data pipeline.
-    pub fn with_archiver(self, archiver: Arc<PppArchiver>) -> Self {
-        let shards = self
-            .shards
-            .into_iter()
-            .map(|m| Mutex::new(m.into_inner().with_archiver(Arc::clone(&archiver))))
-            .collect();
-        MoistCluster { shards, ..self }
+    /// Attaches one PPP archiver to every shard (current and future
+    /// joiners): all non-shed location writes stream into the shared
+    /// aged-data pipeline.
+    pub fn with_archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
+        let snap = self.membership.read().clone();
+        for entry in &snap.shards {
+            entry.server.lock().set_archiver(Arc::clone(&archiver));
+        }
+        self.archiver = Some(archiver);
+        self
     }
 
-    /// Number of front-end shards.
+    /// The current membership snapshot.
+    fn snapshot(&self) -> Arc<Membership> {
+        self.membership.read().clone()
+    }
+
+    /// The entry owning clustering-cell index `key` in the current
+    /// snapshot, as an owned `Arc` (keeps the shard alive for this
+    /// operation across a concurrent membership change).
+    fn owner_entry(&self, key: u64) -> Arc<ShardEntry> {
+        Arc::clone(self.snapshot().owner_of(key))
+    }
+
+    /// The entry at position `shard` in the current snapshot, as an owned
+    /// `Arc`.
+    fn entry_at(&self, shard: usize) -> Result<Arc<ShardEntry>> {
+        Ok(Arc::clone(self.snapshot().entry(shard)?))
+    }
+
+    /// Number of live front-end shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.snapshot().shards.len()
+    }
+
+    /// The live shards' stable ids, in position order.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        self.snapshot().ids()
+    }
+
+    /// The current membership epoch (bumped by every join/leave).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
     }
 
     /// The tier's configuration.
@@ -122,48 +303,208 @@ impl MoistCluster {
         self.object_estimate.load(Ordering::Relaxed)
     }
 
-    /// The shard owning the clustering cell containing `p`.
-    pub fn shard_for_point(&self, p: &Point) -> usize {
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, p);
-        cell_owner(cell.index, self.shards.len())
+    /// Adds a fresh shard to the tier and returns its stable id.
+    ///
+    /// The joiner starts with an empty schedule; only the clustering cells
+    /// whose rendezvous winner changed (≈ cells/(N+1) of them — exactly
+    /// the joiner's wins) migrate, each adopted at the deadline phase it
+    /// had on its old owner. In-flight operations keep routing against
+    /// the pre-join snapshot and land correctly in the shared store.
+    pub fn add_shard(&self) -> Result<u64> {
+        let mut guard = self.membership.write();
+        let old = Arc::clone(&guard);
+        let id = self.next_shard_id.fetch_add(1, Ordering::Relaxed);
+        let mut server = MoistServer::new(&self.store, self.cfg)?
+            .with_scheduler(ClusterScheduler::empty(&self.cfg))
+            .with_shared_estimate(Arc::clone(&self.object_estimate));
+        if let Some(archiver) = &self.archiver {
+            server = server.with_archiver(Arc::clone(archiver));
+        }
+        let joiner = Arc::new(ShardEntry {
+            id,
+            server: Mutex::new(server),
+        });
+
+        let mut shards = old.shards.clone();
+        let pos = shards.partition_point(|e| e.id < id);
+        shards.insert(pos, Arc::clone(&joiner));
+        let new = Membership {
+            epoch: old.epoch + 1,
+            shards,
+        };
+
+        // Seqlock odd phase: updates started against the old snapshot
+        // will re-validate and re-route rather than land on a cell whose
+        // owner is mid-migration.
+        self.version.fetch_add(1, Ordering::AcqRel);
+        // Migrate exactly the cells whose rendezvous winner changed. With
+        // rendezvous hashing those are precisely the joiner's wins, but
+        // the loop stays generic: release from the old winner, adopt on
+        // the new one, preserving each cell's deadline phase.
+        for cell in 0..cells_at_level(self.cfg.clustering_level) {
+            let old_owner = old.owner_of(cell);
+            let new_owner = new.owner_of(cell);
+            if old_owner.id == new_owner.id {
+                continue;
+            }
+            let due = old_owner
+                .server
+                .lock()
+                .scheduler_mut()
+                .release(cell)
+                .expect("old owner held the migrating cell");
+            new_owner.server.lock().scheduler_mut().adopt(cell, due);
+        }
+        *guard = Arc::new(new);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        Ok(id)
     }
 
-    /// The shard owning clustering cell `cell` (coarser or finer cells are
-    /// mapped through their ancestor/descendant at the clustering level).
+    /// Removes the shard with stable id `id` from the tier.
+    ///
+    /// Only the departed shard's cells are reassigned — every other
+    /// cell's owner is untouched (the rendezvous property) — and each
+    /// reassigned cell is adopted by its new owner at its current deadline
+    /// phase. The removed shard's counters remain in [`stats`] so no
+    /// update it absorbed (live or in flight) goes unaccounted.
+    ///
+    /// Fails with [`MoistError::NoSuchShard`] if `id` is not a live shard
+    /// or it is the last one (an empty tier could serve nothing).
+    ///
+    /// [`stats`]: MoistCluster::stats
+    pub fn remove_shard(&self, id: u64) -> Result<()> {
+        let mut guard = self.membership.write();
+        let old = Arc::clone(&guard);
+        let pos = old.position_of(id).ok_or_else(|| {
+            MoistError::NoSuchShard(format!(
+                "shard id {id} is not in the live membership {:?} (epoch {})",
+                old.ids(),
+                old.epoch
+            ))
+        })?;
+        if old.shards.len() == 1 {
+            return Err(MoistError::NoSuchShard(format!(
+                "cannot remove shard id {id}: it is the last live shard"
+            )));
+        }
+        let departed = Arc::clone(&old.shards[pos]);
+        let mut shards = old.shards.clone();
+        shards.remove(pos);
+        let new = Membership {
+            epoch: old.epoch + 1,
+            shards,
+        };
+
+        // Seqlock odd phase (see `add_shard`).
+        self.version.fetch_add(1, Ordering::AcqRel);
+        // Hand every cell the departed shard owned to its new rendezvous
+        // winner, at the deadline phase it had on the departed shard.
+        let handoff = departed.server.lock().scheduler_mut().drain();
+        for (cell, due) in handoff {
+            new.owner_of(cell)
+                .server
+                .lock()
+                .scheduler_mut()
+                .adopt(cell, due);
+        }
+        let mut retired = self.retired.lock();
+        retired.entries.push(departed);
+        retired.compact();
+        drop(retired);
+        *guard = Arc::new(new);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// The position (in current membership order) of the shard owning the
+    /// clustering cell containing `p`.
+    pub fn shard_for_point(&self, p: &Point) -> usize {
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, p);
+        self.owner_position(cell.index)
+    }
+
+    /// The position of the rendezvous winner for `key` in the current
+    /// snapshot.
+    fn owner_position(&self, key: u64) -> usize {
+        let snap = self.snapshot();
+        let id = snap.owner_of(key).id;
+        snap.position_of(id).expect("winner is live")
+    }
+
+    /// The position of the shard owning clustering cell `cell` (coarser or
+    /// finer cells are mapped through their ancestor/descendant at the
+    /// clustering level).
     pub fn shard_for_cell(&self, cell: CellId) -> usize {
-        let index = if cell.level >= self.cfg.clustering_level {
+        self.owner_position(self.clustering_index_of(cell))
+    }
+
+    /// `cell`'s ancestor/descendant index at the clustering level.
+    fn clustering_index_of(&self, cell: CellId) -> u64 {
+        if cell.level >= self.cfg.clustering_level {
             cell.index >> (2 * (cell.level - self.cfg.clustering_level) as u64)
         } else {
             cell.index << (2 * (self.cfg.clustering_level - cell.level) as u64)
-        };
-        cell_owner(index, self.shards.len())
+        }
     }
 
-    /// The shard answering object-keyed lookups for `oid` (pure load
-    /// spreading — any shard could serve them from the shared store).
+    /// The position of the shard answering object-keyed lookups for `oid`
+    /// (pure load spreading — any shard could serve them from the shared
+    /// store).
     pub fn shard_for_object(&self, oid: ObjectId) -> usize {
-        cell_owner(oid.0, self.shards.len())
+        self.owner_position(oid.0)
     }
 
-    /// Runs `f` against one shard's server (stats inspection, clock
-    /// resets, direct table access in tests).
-    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut MoistServer) -> R) -> R {
-        f(&mut self.shards[shard].lock())
+    /// Runs `f` against one shard's server by position (stats inspection,
+    /// clock resets, direct table access in tests). Fails with
+    /// [`MoistError::NoSuchShard`] when `shard` is past the current
+    /// membership instead of panicking, so callers racing a shard removal
+    /// degrade gracefully.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut MoistServer) -> R) -> Result<R> {
+        let entry = self.entry_at(shard)?;
+        let mut server = entry.server.lock();
+        Ok(f(&mut server))
     }
 
     /// Applies one update on the shard owning the update's clustering cell.
+    ///
+    /// Routing is seqlock-validated against membership changes: the
+    /// version is read before routing and re-read *after* the owner's
+    /// lock is held; if a join/leave ran (or is running) in between, the
+    /// lock is dropped and routing retries on the new snapshot. This
+    /// keeps the exclusivity invariant — a cell's updates and its
+    /// clustering serialize on the current owner's lock — across epoch
+    /// bumps: without it, an update routed on a pre-bump snapshot could
+    /// mutate a migrated cell's school state on the *old* owner while the
+    /// new owner is already clustering that cell. Read-only queries skip
+    /// the validation deliberately (a stale-routed read still scans a
+    /// consistent store).
     pub fn update(&self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
-        self.shards[self.shard_for_point(&msg.loc)]
-            .lock()
-            .update(msg)
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &msg.loc);
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                // A membership change is migrating cells right now.
+                std::thread::yield_now();
+                continue;
+            }
+            let entry = self.owner_entry(cell.index);
+            let mut server = entry.server.lock();
+            if self.version.load(Ordering::Acquire) == v1 {
+                return server.update(msg);
+            }
+            // Membership moved while we were acquiring the lock; this
+            // entry may no longer own the cell. Re-route.
+            drop(server);
+        }
     }
 
     /// FLAG-tuned k-nearest-neighbour query, routed by the query point's
     /// clustering cell.
     pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
-        self.shards[self.shard_for_point(&center)]
-            .lock()
-            .nn(center, k, at)
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
+        let entry = self.owner_entry(cell.index);
+        let mut server = entry.server.lock();
+        server.nn(center, k, at)
     }
 
     /// k-NN at a fixed search level, routed like [`MoistCluster::nn`].
@@ -174,9 +515,10 @@ impl MoistCluster {
         at: Timestamp,
         nn_level: u8,
     ) -> Result<(Vec<Neighbor>, NnStats)> {
-        self.shards[self.shard_for_point(&center)]
-            .lock()
-            .nn_at_level(center, k, at, nn_level)
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
+        let entry = self.owner_entry(cell.index);
+        let mut server = entry.server.lock();
+        server.nn_at_level(center, k, at, nn_level)
     }
 
     /// Region query routed by the rectangle's centre.
@@ -186,74 +528,99 @@ impl MoistCluster {
         at: Timestamp,
         margin: f64,
     ) -> Result<(Vec<Neighbor>, RegionStats)> {
-        self.shards[self.shard_for_point(&rect.center())]
-            .lock()
-            .region(rect, at, margin)
+        let center = rect.center();
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
+        let entry = self.owner_entry(cell.index);
+        let mut server = entry.server.lock();
+        server.region(rect, at, margin)
     }
 
     /// Current position of one object, routed by object id.
     pub fn position(&self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
-        self.shards[self.shard_for_object(oid)]
-            .lock()
-            .position(oid, at)
+        let entry = self.owner_entry(oid.0);
+        let mut server = entry.server.lock();
+        server.position(oid, at)
     }
 
-    /// Runs lazy clustering on one shard: only the cells that shard owns
-    /// and that are due fire, so across shards each cell is clustered by
-    /// exactly one server. Workers call this for "their" shard on a tick.
+    /// Runs lazy clustering on one shard by position: only the cells that
+    /// shard owns and that are due fire, so across shards each cell is
+    /// clustered by exactly one server. Workers call this for "their"
+    /// shard on a tick; a worker racing a shard removal gets
+    /// [`MoistError::NoSuchShard`], not a panic.
     pub fn run_due_clustering_shard(&self, shard: usize, now: Timestamp) -> Result<ClusterReport> {
-        self.shards[shard].lock().run_due_clustering(now)
+        let entry = self.entry_at(shard)?;
+        let mut server = entry.server.lock();
+        server.run_due_clustering(now)
     }
 
     /// Runs lazy clustering on every shard in turn (single-driver mode).
     pub fn run_due_clustering(&self, now: Timestamp) -> Result<ClusterReport> {
+        let snap = self.snapshot();
         let mut total = ClusterReport::default();
-        for shard in &self.shards {
-            total.merge_from(&shard.lock().run_due_clustering(now)?);
+        for entry in &snap.shards {
+            total.merge_from(&entry.server.lock().run_due_clustering(now)?);
         }
         Ok(total)
     }
 
     /// Ages out cold records. The aging columns are table-global, so this
-    /// runs once (through shard 0), not once per shard.
+    /// runs once (through the first live shard), not once per shard.
     pub fn age_data(&self, now: Timestamp) -> Result<usize> {
-        self.shards[0].lock().age_data(now)
+        let entry = self.entry_at(0)?;
+        let mut server = entry.server.lock();
+        server.age_data(now)
     }
 
-    /// Aggregate operation counters across all shards.
+    /// Aggregate operation counters across all shards, including shards
+    /// that have since left the tier (so a failover never "loses" the
+    /// updates the departed shard absorbed).
     pub fn stats(&self) -> ServerStats {
-        let mut total = ServerStats::default();
-        for shard in &self.shards {
-            total.merge_from(&shard.lock().stats());
+        let snap = self.snapshot();
+        let mut total = self.retired.lock().stats();
+        for entry in &snap.shards {
+            total.merge_from(&entry.server.lock().stats());
         }
         total
     }
 
-    /// Per-shard operation counters, in shard order.
+    /// Per-shard operation counters for the live shards, in position
+    /// order.
     pub fn shard_stats(&self) -> Vec<ServerStats> {
-        self.shards.iter().map(|s| s.lock().stats()).collect()
+        let snap = self.snapshot();
+        snap.shards
+            .iter()
+            .map(|e| e.server.lock().stats())
+            .collect()
     }
 
-    /// Per-shard virtual elapsed microseconds, in shard order.
+    /// Per-shard virtual elapsed microseconds for the live shards, in
+    /// position order.
     pub fn shard_elapsed_us(&self) -> Vec<f64> {
-        self.shards.iter().map(|s| s.lock().elapsed_us()).collect()
+        let snap = self.snapshot();
+        snap.shards
+            .iter()
+            .map(|e| e.server.lock().elapsed_us())
+            .collect()
     }
 
-    /// Virtual elapsed microseconds of the busiest shard — the tier's
+    /// Virtual elapsed microseconds of the busiest live shard — the tier's
     /// makespan, since shards consume store time in parallel.
     pub fn max_elapsed_us(&self) -> f64 {
         self.shard_elapsed_us().into_iter().fold(0.0, f64::max)
     }
 
-    /// Sum of all shards' virtual elapsed microseconds (total store work).
+    /// Sum of the live shards' virtual elapsed microseconds (total store
+    /// work).
     pub fn total_elapsed_us(&self) -> f64 {
         self.shard_elapsed_us().into_iter().sum()
     }
 
-    /// Resets every shard's session clock (benches do this after warm-up).
+    /// Resets every live shard's session clock (benches do this after
+    /// warm-up).
     pub fn reset_clocks(&self) {
-        for shard in &self.shards {
-            shard.lock().session_mut().reset();
+        let snap = self.snapshot();
+        for entry in &snap.shards {
+            entry.server.lock().session_mut().reset();
         }
     }
 }
@@ -261,7 +628,7 @@ impl MoistCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moist_spatial::{cells_at_level, Velocity};
+    use moist_spatial::Velocity;
 
     fn msg(oid: u64, x: f64, y: f64, vx: f64, secs: f64) -> UpdateMessage {
         UpdateMessage {
@@ -270,6 +637,25 @@ mod tests {
             vel: Velocity::new(vx, 0.0),
             ts: Timestamp::from_secs_f64(secs),
         }
+    }
+
+    /// Owner positions of every clustering cell: asserts exactly one live
+    /// shard owns each cell and returns the owners.
+    fn sole_owners(cluster: &MoistCluster) -> Vec<usize> {
+        let cells = cells_at_level(cluster.config().clustering_level);
+        (0..cells)
+            .map(|index| {
+                let owners: Vec<usize> = (0..cluster.num_shards())
+                    .filter(|&i| {
+                        cluster
+                            .with_shard(i, |s| s.scheduler().owns(index))
+                            .unwrap()
+                    })
+                    .collect();
+                assert_eq!(owners.len(), 1, "cell {index} owners: {owners:?}");
+                owners[0]
+            })
+            .collect()
     }
 
     #[test]
@@ -321,10 +707,14 @@ mod tests {
         assert_eq!(cluster.shard_for_cell(cell), shard);
         let leaf = cfg.space.leaf_cell(&p);
         assert_eq!(cluster.shard_for_cell(leaf), shard);
-        assert!(cluster.with_shard(shard, |s| s.scheduler().owns(cell.index)));
+        assert!(cluster
+            .with_shard(shard, |s| s.scheduler().owns(cell.index))
+            .unwrap());
         for other in 0..cluster.num_shards() {
             if other != shard {
-                assert!(!cluster.with_shard(other, |s| s.scheduler().owns(cell.index)));
+                assert!(!cluster
+                    .with_shard(other, |s| s.scheduler().owns(cell.index))
+                    .unwrap());
             }
         }
     }
@@ -339,7 +729,11 @@ mod tests {
         };
         let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
         let owned: usize = (0..cluster.num_shards())
-            .map(|i| cluster.with_shard(i, |s| s.scheduler().owned_count()))
+            .map(|i| {
+                cluster
+                    .with_shard(i, |s| s.scheduler().owned_count())
+                    .unwrap()
+            })
             .sum();
         assert_eq!(owned as u64, cells_at_level(cfg.clustering_level));
         // One sweep past every staggered deadline: each cell fires once,
@@ -376,5 +770,130 @@ mod tests {
         let stats = cluster.stats();
         assert!(stats.shed >= 9, "stats: {stats:?}");
         assert!(stats.balanced(), "counters must sum: {stats:?}");
+    }
+
+    #[test]
+    fn add_shard_migrates_only_the_joiners_wins_and_keeps_phase() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 4, // 256 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 3).unwrap();
+        assert_eq!(cluster.epoch(), 0);
+        let cells = cells_at_level(cfg.clustering_level);
+        // Record each cell's owner *id* and deadline before the join.
+        let owners_before = sole_owners(&cluster);
+        let before: Vec<(u64, u64)> = (0..cells)
+            .map(|index| {
+                let pos = owners_before[index as usize];
+                let id = cluster.shard_ids()[pos];
+                let due = cluster
+                    .with_shard(pos, |s| s.scheduler().deadline_of(index))
+                    .unwrap()
+                    .unwrap();
+                (id, due)
+            })
+            .collect();
+
+        let joiner = cluster.add_shard().unwrap();
+        assert_eq!(cluster.num_shards(), 4);
+        assert_eq!(cluster.epoch(), 1);
+        assert!(cluster.shard_ids().contains(&joiner));
+
+        let owners_after = sole_owners(&cluster);
+        let mut migrated = 0u64;
+        for index in 0..cells {
+            let pos = owners_after[index as usize];
+            let id_after = cluster.shard_ids()[pos];
+            let due_after = cluster
+                .with_shard(pos, |s| s.scheduler().deadline_of(index))
+                .unwrap()
+                .unwrap();
+            let (id_before, due_before) = before[index as usize];
+            assert_eq!(due_after, due_before, "cell {index} must keep its phase");
+            if id_after != id_before {
+                migrated += 1;
+                assert_eq!(id_after, joiner, "only the joiner may steal cells");
+            }
+        }
+        // ~cells/(N+1) migrate; generous statistical slack, but far below
+        // the near-total remap a modular hash would cause.
+        assert!(migrated > 0, "the joiner must win some cells");
+        assert!(
+            migrated <= cells / 4 + cells / 8,
+            "migrated {migrated} of {cells} — not a minimal remap"
+        );
+    }
+
+    #[test]
+    fn remove_shard_reassigns_only_the_departed_cells() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 3, // 64 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        for i in 0..64u64 {
+            let x = 15.0 + 970.0 * (i % 8) as f64 / 8.0;
+            let y = 15.0 + 970.0 * (i / 8) as f64 / 8.0;
+            cluster.update(&msg(i, x, y, 1.0, 0.0)).unwrap();
+        }
+        let cells = cells_at_level(cfg.clustering_level);
+        let owners_before: Vec<u64> = {
+            let owners = sole_owners(&cluster);
+            owners.iter().map(|&pos| cluster.shard_ids()[pos]).collect()
+        };
+        let victim = cluster.shard_ids()[1];
+        let victim_updates = cluster.shard_stats()[1].updates;
+        cluster.remove_shard(victim).unwrap();
+        assert_eq!(cluster.num_shards(), 3);
+        assert_eq!(cluster.epoch(), 1);
+        assert!(!cluster.shard_ids().contains(&victim));
+
+        let owners_after = sole_owners(&cluster);
+        for index in 0..cells {
+            let id_after = cluster.shard_ids()[owners_after[index as usize]];
+            let id_before = owners_before[index as usize];
+            if id_before != victim {
+                assert_eq!(id_after, id_before, "cell {index} must not move");
+            } else {
+                assert_ne!(id_after, victim);
+            }
+        }
+        // The departed shard's updates stay in the aggregate…
+        let agg = cluster.stats();
+        assert_eq!(agg.updates, 64);
+        assert!(victim_updates > 0, "victim should have taken traffic");
+        // …and the whole map still answers queries.
+        let (nn, _) = cluster
+            .nn(Point::new(500.0, 500.0), 64, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(nn.len(), 64);
+    }
+
+    #[test]
+    fn shard_errors_are_typed_not_panics() {
+        let store = Bigtable::new();
+        let cluster = MoistCluster::new(&store, MoistConfig::default(), 2).unwrap();
+        // Position past the membership.
+        let err = cluster.with_shard(7, |_| ()).unwrap_err();
+        assert!(matches!(err, MoistError::NoSuchShard(_)), "got {err:?}");
+        let err = cluster
+            .run_due_clustering_shard(7, Timestamp::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, MoistError::NoSuchShard(_)), "got {err:?}");
+        // Unknown id.
+        let err = cluster.remove_shard(999).unwrap_err();
+        assert!(matches!(err, MoistError::NoSuchShard(_)), "got {err:?}");
+        // Removing the last shard.
+        let ids = cluster.shard_ids();
+        cluster.remove_shard(ids[0]).unwrap();
+        let err = cluster.remove_shard(ids[1]).unwrap_err();
+        assert!(matches!(err, MoistError::NoSuchShard(_)), "got {err:?}");
+        assert_eq!(cluster.num_shards(), 1);
     }
 }

@@ -15,6 +15,11 @@ pub enum MoistError {
     Inconsistent(String),
     /// Invalid configuration.
     Config(String),
+    /// A cluster-tier operation addressed a shard that is not in the
+    /// current membership (position past the end, unknown shard id, or
+    /// removing the last live shard). Failover code paths match on this
+    /// instead of aborting on an index panic.
+    NoSuchShard(String),
 }
 
 impl fmt::Display for MoistError {
@@ -24,6 +29,7 @@ impl fmt::Display for MoistError {
             MoistError::Codec(msg) => write!(f, "codec error: {msg}"),
             MoistError::Inconsistent(msg) => write!(f, "inconsistent state: {msg}"),
             MoistError::Config(msg) => write!(f, "bad configuration: {msg}"),
+            MoistError::NoSuchShard(msg) => write!(f, "no such shard: {msg}"),
         }
     }
 }

@@ -15,7 +15,9 @@
 //! * [`flag`] — Algorithms 3–4, the Fast Level Adaptive Grid (§3.4.2);
 //! * [`server`] — a front-end server tying everything together (§4.3);
 //! * [`cluster_tier`] — the sharded multi-server tier: N servers over one
-//!   store, routing and clustering partitioned by cell hash (§4.3.3).
+//!   store, routing and clustering partitioned by rendezvous-hashed cell
+//!   ownership over an epoch-stamped membership, with live shard
+//!   join/leave (§4.3.3).
 //!
 //! ```
 //! use moist_bigtable::{Bigtable, Timestamp};
@@ -53,7 +55,7 @@ pub mod server;
 pub mod tables;
 pub mod update;
 
-pub use cluster::{cell_owner, cluster_cell, cluster_sweep, ClusterReport, ClusterScheduler};
+pub use cluster::{cluster_cell, cluster_sweep, rendezvous_owner, ClusterReport, ClusterScheduler};
 pub use cluster_tier::MoistCluster;
 pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};

@@ -139,12 +139,21 @@ impl MoistServer {
     /// Attaches the PPP archiver: every non-shed location write is also
     /// streamed into the aged-data pipeline.
     pub fn with_archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
-        self.archiver = Some(archiver);
+        self.set_archiver(archiver);
         self
     }
 
-    /// Replaces the clustering scheduler (a cluster tier hands each shard a
-    /// [`ClusterScheduler::partitioned`] slice of the clustering level).
+    /// In-place variant of [`with_archiver`](MoistServer::with_archiver)
+    /// for servers already behind a lock (the cluster tier attaches the
+    /// shared archiver to every live shard this way).
+    pub fn set_archiver(&mut self, archiver: Arc<PppArchiver>) {
+        self.archiver = Some(archiver);
+    }
+
+    /// Replaces the clustering scheduler (a cluster tier hands each shard
+    /// its [`ClusterScheduler::for_member`] rendezvous slice of the
+    /// clustering level, or [`ClusterScheduler::empty`] for a joiner whose
+    /// cells arrive by adoption).
     pub fn with_scheduler(mut self, scheduler: ClusterScheduler) -> Self {
         self.scheduler = scheduler;
         self
@@ -195,6 +204,15 @@ impl MoistServer {
     /// The clustering scheduler (ownership inspection for cluster tiers).
     pub fn scheduler(&self) -> &ClusterScheduler {
         &self.scheduler
+    }
+
+    /// Mutable access to the clustering scheduler — the cluster tier's
+    /// handoff hook: on a membership change it
+    /// [`release`](ClusterScheduler::release)s migrating cells here on the
+    /// old owner and [`adopt`](ClusterScheduler::adopt)s them on the new
+    /// one, preserving each cell's deadline phase.
+    pub fn scheduler_mut(&mut self) -> &mut ClusterScheduler {
+        &mut self.scheduler
     }
 
     /// Current object-count estimate feeding FLAG's initial level guess.

@@ -1,0 +1,145 @@
+//! Property tests for rendezvous cell ownership — the minimal-remap
+//! contract elastic membership rests on (vendored proptest):
+//!
+//! 1. **join** — adding one shard to an N-shard membership remaps at most
+//!    ⌈cells/(N+1)⌉ plus statistical slack, and every remapped cell moves
+//!    *to the joiner* (an exact structural property, not a bound);
+//! 2. **leave** — removing one shard remaps exactly the departed shard's
+//!    cells and nothing else;
+//! 3. **order independence** — ownership is a function of the membership
+//!    *set*, not the order the ids are listed in;
+//! 4. **agreement** — [`ClusterScheduler::for_member`] slices form an
+//!    exact partition that agrees with [`rendezvous_owner`], so routing
+//!    and clustering can never disagree about a cell's home shard.
+
+use moist_core::{rendezvous_owner, ClusterScheduler, MoistConfig};
+use proptest::prelude::*;
+
+/// A membership of 1–12 distinct shard ids drawn from a wide id space
+/// (ids are never reused in the tier, so gaps and large values are the
+/// norm after churn).
+fn membership(rng: &mut TestRng, max_len: usize) -> Vec<u64> {
+    let len = 1 + (rng.below(max_len as u64) as usize);
+    let mut ids = Vec::with_capacity(len);
+    while ids.len() < len {
+        let id = rng.below(1 << 20);
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Fisher–Yates shuffle driven by the deterministic test RNG.
+fn shuffled(rng: &mut TestRng, mut ids: Vec<u64>) -> Vec<u64> {
+    for i in (1..ids.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        ids.swap(i, j);
+    }
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_remaps_at_most_its_fair_share_and_only_to_the_joiner(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("join_remap", seed);
+        let ids = membership(&mut rng, 12);
+        let joiner = loop {
+            let id = rng.below(1 << 20) + (1 << 20); // disjoint from members
+            if !ids.contains(&id) {
+                break id;
+            }
+        };
+        let mut grown = ids.clone();
+        grown.push(joiner);
+        let cells: u64 = 1024;
+        let n1 = grown.len() as u64;
+
+        let mut remapped = 0u64;
+        for cell in 0..cells {
+            let before = rendezvous_owner(cell, &ids);
+            let after = rendezvous_owner(cell, &grown);
+            if before != after {
+                remapped += 1;
+                // Exact structural property: a cell only ever moves to the
+                // joiner — the incumbents' weights did not change.
+                prop_assert_eq!(after, joiner, "cell {} moved between incumbents", cell);
+            }
+        }
+        // The joiner's fair share is cells/(N+1). The winner counts are
+        // binomial-ish, so allow generous slack — but stay far below the
+        // near-total remap a modular hash over the count would cause.
+        let fair = cells.div_ceil(n1);
+        let slack = fair / 2 + 32;
+        prop_assert!(
+            remapped <= fair + slack,
+            "remapped {} of {} cells; fair share {} (+{} slack) with {} members",
+            remapped, cells, fair, slack, n1
+        );
+    }
+
+    #[test]
+    fn leave_remaps_exactly_the_departed_shards_cells(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("leave_remap", seed);
+        let mut ids = membership(&mut rng, 12);
+        if ids.len() < 2 {
+            ids.push(ids[0] + 1);
+        }
+        let departed = ids[rng.below(ids.len() as u64) as usize];
+        let survivors: Vec<u64> = ids.iter().copied().filter(|&m| m != departed).collect();
+
+        for cell in 0..1024u64 {
+            let before = rendezvous_owner(cell, &ids);
+            let after = rendezvous_owner(cell, &survivors);
+            if before == departed {
+                // The departed shard's cells land on some survivor.
+                prop_assert!(survivors.contains(&after));
+            } else {
+                // Everyone else's cells do not move at all.
+                prop_assert_eq!(after, before, "cell {} moved without cause", cell);
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_is_independent_of_membership_list_order(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("order_independence", seed);
+        let ids = membership(&mut rng, 12);
+        let reordered = shuffled(&mut rng, ids.clone());
+        for cell in 0..512u64 {
+            prop_assert_eq!(
+                rendezvous_owner(cell, &ids),
+                rendezvous_owner(cell, &reordered),
+                "cell {} owner depends on list order", cell
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_slices_partition_the_level_and_agree_with_routing(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("scheduler_agreement", seed);
+        let ids = membership(&mut rng, 8);
+        let cfg = MoistConfig {
+            clustering_level: 4, // 256 cells
+            ..MoistConfig::default()
+        };
+        let scheds: Vec<ClusterScheduler> = ids
+            .iter()
+            .map(|&m| ClusterScheduler::for_member(&cfg, m, &ids))
+            .collect();
+        let total: usize = scheds.iter().map(|s| s.owned_count()).sum();
+        prop_assert_eq!(total, 256, "members {:?} must partition the level", ids);
+        for cell in 0..256u64 {
+            let winner = rendezvous_owner(cell, &ids);
+            for (pos, sched) in scheds.iter().enumerate() {
+                prop_assert_eq!(
+                    sched.owns(cell),
+                    ids[pos] == winner,
+                    "cell {} ownership disagrees with routing", cell
+                );
+            }
+        }
+    }
+}

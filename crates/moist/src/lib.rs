@@ -11,7 +11,7 @@
 //! |---|---|---|
 //! | [`spatial`] | `moist-spatial` | Hilbert/Z curves, hierarchical cells, the six-face sphere mapping (§3.2) |
 //! | [`bigtable`] | `moist-bigtable` | BigTable-semantics store + calibrated cost model (§3.1) |
-//! | [`core`] | `moist-core` | object schools, Algorithm 1 updates, clustering, NN search, FLAG, the sharded `MoistCluster` front-end tier (§3.3–3.4, §4.3.3) |
+//! | [`core`] | `moist-core` | object schools, Algorithm 1 updates, clustering, NN search, FLAG, the sharded `MoistCluster` front-end tier with rendezvous-hashed cell ownership and live shard join/leave (§3.3–3.4, §4.3.3) |
 //! | [`archive`] | `moist-archive` | PPP parallel ping-pong aged-data archiving (§3.5–3.6) |
 //! | [`baselines`] | `moist-baselines` | Bx-tree, static & dynamic clustering comparators (§2) |
 //! | [`workload`] | `moist-workload` | the §4.1 road-network and uniform workloads, client drivers |

@@ -1,7 +1,9 @@
 //! Vendored JSON serializer over the vendored mini-serde: enough of the
 //! `serde_json` API to dump any `Serialize` type as (pretty) JSON.
-//! Deserialization is intentionally absent — the workspace never parses
-//! JSON (see the vendored `serde` crate docs).
+//! Typed deserialization is intentionally absent (see the vendored
+//! `serde` crate docs); the stub instead exposes a [`Value`]-level parser
+//! ([`from_str_value`]) plus accessors, which is all the workspace's
+//! JSON-reading tools (the bench trend report) need.
 
 use serde::ser::Error as SerError;
 use serde::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer};
@@ -73,6 +75,236 @@ impl fmt::Display for Number {
                 }
             }
         }
+    }
+}
+
+impl Value {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v as f64),
+            Value::Number(Number::U(v)) => Some(*v as f64),
+            Value::Number(Number::F(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree — the stub's stand-in for the
+/// real crate's `from_str` (no typed `Deserialize`; callers walk the
+/// `Value`). Accepts exactly the JSON this crate's serializer emits, plus
+/// standard escapes and whitespace.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("short \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for the stub;
+                            // lone surrogates map to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape \\{}", *other as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error("unterminated string".into()))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I(v)));
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F(v)))
+            .map_err(|_| Error(format!("bad number {text:?} at byte {start}")))
     }
 }
 
@@ -329,6 +561,61 @@ mod tests {
         let m: std::collections::BTreeMap<String, u32> =
             [("a".to_string(), 1)].into_iter().collect();
         assert_eq!(to_string(&m).unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        // The shape the bench figures serialize: a map with strings,
+        // nested point arrays and numbers.
+        let mut fig: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        fig.insert("qps".into(), vec![(1.0, 13541.5), (2.0, -2.5e3)]);
+        fig.insert("empty".into(), vec![]);
+        let expected = Value::Object(vec![
+            ("empty".into(), Value::Array(vec![])),
+            (
+                "qps".into(),
+                Value::Array(vec![
+                    Value::Array(vec![
+                        Value::Number(Number::F(1.0)),
+                        Value::Number(Number::F(13541.5)),
+                    ]),
+                    Value::Array(vec![
+                        Value::Number(Number::F(2.0)),
+                        Value::Number(Number::F(-2500.0)),
+                    ]),
+                ]),
+            ),
+        ]);
+        for text in [to_string(&fig).unwrap(), to_string_pretty(&fig).unwrap()] {
+            let parsed = from_str_value(&text).unwrap();
+            assert_eq!(parsed, expected, "round-trip of {text}");
+        }
+        assert_eq!(
+            expected.get("qps").unwrap().as_array().unwrap()[0]
+                .as_array()
+                .unwrap()[1]
+                .as_f64(),
+            Some(13541.5)
+        );
+        assert!(expected.get("missing").is_none());
+        // Escapes, literals and integer forms.
+        let v = from_str_value(
+            "{\"s\": \"a\\n\\\"b\\u0041\", \"t\": true, \"z\": null, \"n\": 42, \"m\": -7}",
+        )
+        .unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\n\"bA"));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("z"), Some(&Value::Null));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("m").unwrap().as_f64(), Some(-7.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str_value(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

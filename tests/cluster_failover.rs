@@ -1,0 +1,209 @@
+//! Failure injection for the cluster tier: a shard is killed mid-run while
+//! 8 [`ClientPool`] threads keep hammering the tier with updates and
+//! queries.
+//!
+//! The elasticity contract under failure:
+//!
+//! * **absorption** — after the kill, the survivors own every clustering
+//!   cell (exactly one owner per cell, nothing orphaned);
+//! * **zero lost updates** — every update a client sent is accounted for
+//!   by exactly one outcome, including updates the dying shard absorbed
+//!   while live or in flight during the epoch bump;
+//! * **continuous availability** — NN and region queries keep answering
+//!   throughout the kill (workers query on every tick and fail the test on
+//!   any error);
+//! * **graceful degradation** — a worker racing the membership change gets
+//!   a typed [`MoistError::NoSuchShard`], never an index panic.
+
+use moist::bigtable::{Bigtable, Timestamp};
+use moist::core::{MoistCluster, MoistConfig, MoistError, ObjectId, UpdateMessage};
+use moist::spatial::{cells_at_level, Point, Rect};
+use moist::workload::{ClientPool, RoadMap, RoadMapConfig, RoadNetSim, SimConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+mod common;
+
+const SHARDS: usize = 4;
+const WORKERS: usize = 8;
+const KILL_AT_SECS: f64 = 45.0;
+const END_SECS: f64 = 90.0;
+
+fn tier_config() -> MoistConfig {
+    MoistConfig {
+        epsilon: 50.0,
+        delta_m: 2.0,
+        clustering_level: 3, // 64 cells across the shards
+        cluster_interval_secs: 10.0,
+        ..MoistConfig::default()
+    }
+}
+
+#[test]
+fn mid_run_shard_kill_is_absorbed_without_losing_updates_or_queries() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let victim = *cluster.shard_ids().last().unwrap();
+
+    let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
+        .map(|i| {
+            Mutex::new(RoadNetSim::new(
+                RoadMap::new(RoadMapConfig::default()),
+                SimConfig {
+                    agents: 100,
+                    seed: 7_000 + i as u64,
+                    ..SimConfig::default()
+                },
+            ))
+        })
+        .collect();
+
+    let killed = AtomicBool::new(false);
+    let queries_before_kill = AtomicU64::new(0);
+    let queries_after_kill = AtomicU64::new(0);
+
+    // 8 workers drive updates, clustering ticks and queries; worker 0
+    // yanks the victim shard mid-run while the other 7 keep going.
+    let sent: Vec<u64> = ClientPool::run(WORKERS, |i| {
+        let mut sim = sims[i].lock().expect("sim lock");
+        let oid_base = i as u64 * 1_000_000;
+        let mut count = 0u64;
+        let mut first_oid_seen = None;
+        let mut t = 0.0;
+        while t < END_SECS {
+            t = (t + 5.0).min(END_SECS);
+            for u in sim.advance_until(t) {
+                let oid = oid_base + u.oid;
+                first_oid_seen.get_or_insert(oid);
+                cluster
+                    .update(&UpdateMessage {
+                        oid: ObjectId(oid),
+                        loc: u.loc,
+                        vel: u.vel,
+                        ts: Timestamp::from_secs_f64(u.at_secs),
+                    })
+                    .expect("updates must keep landing through the kill");
+                count += 1;
+            }
+
+            if i == 0
+                && t >= KILL_AT_SECS
+                && killed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                cluster
+                    .remove_shard(victim)
+                    .expect("mid-run shard kill must succeed");
+            }
+
+            // Clustering ticks for this worker's stride of shards. The
+            // membership shrinks mid-run, so a stale position is expected
+            // occasionally — it must surface as the typed NoSuchShard
+            // error, never abort the process.
+            let mut shard = i;
+            while shard < SHARDS {
+                match cluster.run_due_clustering_shard(shard, Timestamp::from_secs_f64(t)) {
+                    Ok(_) => {}
+                    Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("clustering tick failed: {e}"),
+                }
+                shard += WORKERS.min(SHARDS);
+            }
+
+            // Availability probes on every tick: NN, region and an
+            // object-keyed read must answer before, during and after the
+            // kill.
+            let at = Timestamp::from_secs_f64(t);
+            let probe = Point::new(100.0 + (i as f64) * 100.0, 500.0);
+            let (_, _) = cluster
+                .nn(probe, 3, at)
+                .expect("NN must answer through the kill");
+            let rect = Rect::new(250.0, 250.0, 750.0, 750.0);
+            let (_, _) = cluster
+                .region(&rect, at, 0.0)
+                .expect("region must answer through the kill");
+            if let Some(oid) = first_oid_seen {
+                cluster
+                    .position(ObjectId(oid), at)
+                    .expect("position must answer through the kill")
+                    .expect("a registered object must stay visible");
+            }
+            if killed.load(Ordering::SeqCst) {
+                queries_after_kill.fetch_add(2, Ordering::Relaxed);
+            } else {
+                queries_before_kill.fetch_add(2, Ordering::Relaxed);
+            }
+        }
+        count
+    });
+    let sent: u64 = sent.iter().sum();
+
+    // The kill really happened mid-run, with queries served on both sides.
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "worker 0 must kill the shard"
+    );
+    assert_eq!(cluster.num_shards(), SHARDS - 1);
+    assert!(!cluster.shard_ids().contains(&victim));
+    assert!(queries_before_kill.load(Ordering::Relaxed) > 0);
+    assert!(queries_after_kill.load(Ordering::Relaxed) > 0);
+
+    // Absorption: the survivors own every clustering cell exactly once.
+    let cells = cells_at_level(cfg.clustering_level);
+    common::sole_owner_positions(&cluster);
+
+    // Zero lost updates: every sent update is accounted for by exactly one
+    // outcome on exactly one shard — including the dead shard's share,
+    // which stays in the aggregate.
+    let agg = cluster.stats();
+    assert_eq!(agg.updates, sent, "no update lost or double-counted");
+    assert!(agg.balanced(), "outcomes must sum to updates: {agg:?}");
+    let live: u64 = cluster.shard_stats().iter().map(|s| s.updates).sum();
+    assert!(
+        live < sent,
+        "the dead shard's absorbed updates must live outside the survivors"
+    );
+
+    // The tier still clusters and still answers over the whole map.
+    let sweep_at = Timestamp::from_secs_f64(END_SECS + cfg.cluster_interval_secs + 1.0);
+    let runs_before = cluster.stats().cluster_runs;
+    for shard in 0..cluster.num_shards() {
+        cluster.run_due_clustering_shard(shard, sweep_at).unwrap();
+    }
+    assert_eq!(
+        cluster.stats().cluster_runs - runs_before,
+        cells,
+        "post-kill sweep must cluster each cell exactly once"
+    );
+    let (nn, _) = cluster.nn(Point::new(500.0, 500.0), 100, sweep_at).unwrap();
+    assert!(!nn.is_empty(), "queries must survive the failover");
+}
+
+#[test]
+fn killing_and_rejoining_shards_repeatedly_keeps_the_partition_tight() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cells = cells_at_level(cfg.clustering_level);
+    // Churn: kill one, add two, kill one… ownership must stay an exact
+    // partition with deadlines intact at every step.
+    for round in 0..4 {
+        let victim = cluster.shard_ids()[round % cluster.num_shards()];
+        cluster.remove_shard(victim).unwrap();
+        if round % 2 == 0 {
+            cluster.add_shard().unwrap();
+        }
+        let owned: usize = (0..cluster.num_shards())
+            .map(|i| {
+                cluster
+                    .with_shard(i, |s| s.scheduler().owned_count())
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(owned as u64, cells, "round {round} broke the partition");
+        common::sole_owner_positions(&cluster);
+    }
+    assert_eq!(cluster.epoch(), 6, "4 removals + 2 joins bump 6 epochs");
+}

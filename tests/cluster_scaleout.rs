@@ -15,6 +15,8 @@ use moist::spatial::{cells_at_level, Point};
 use moist::workload::{ClientPool, RoadMap, RoadMapConfig, RoadNetSim, SimConfig};
 use std::sync::Mutex;
 
+mod common;
+
 const SHARDS: usize = 4;
 const WORKERS: usize = 8;
 
@@ -129,12 +131,7 @@ fn each_clustering_cell_is_clustered_by_exactly_one_shard() {
 
     // Static partition: every cell owned by exactly one shard's scheduler,
     // and that shard is the one updates for the cell route to.
-    for index in 0..cells {
-        let owners: Vec<usize> = (0..SHARDS)
-            .filter(|&i| cluster.with_shard(i, |s| s.scheduler().owns(index)))
-            .collect();
-        assert_eq!(owners.len(), 1, "cell {index} owners: {owners:?}");
-    }
+    common::sole_owner_positions(&cluster);
 
     // Dynamic exclusivity: after concurrent driving, sweep one interval
     // past the end — every cell fires exactly once, on its owner, so the
@@ -149,5 +146,69 @@ fn each_clustering_cell_is_clustered_by_exactly_one_shard() {
         cluster.stats().cluster_runs - runs_before,
         cells,
         "one post-run sweep must cluster each cell exactly once"
+    );
+}
+
+/// `(owner position, owner id, pending deadline)` of every clustering
+/// cell, asserting exactly one live shard owns each cell.
+fn cell_ownership(cluster: &MoistCluster) -> Vec<(usize, u64, u64)> {
+    let ids = cluster.shard_ids();
+    common::sole_owner_positions(cluster)
+        .into_iter()
+        .enumerate()
+        .map(|(index, pos)| {
+            let due = cluster
+                .with_shard(pos, |s| s.scheduler().deadline_of(index as u64))
+                .unwrap()
+                .expect("owner holds a pending deadline");
+            (pos, ids[pos], due)
+        })
+        .collect()
+}
+
+#[test]
+fn join_reseeds_migrated_cells_at_their_old_deadline_phase() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    // Drive real concurrent traffic first so every cell's deadline has
+    // re-armed to a mid-run phase (not the pristine first stagger).
+    drive_concurrently(&cluster, 90.0);
+    let before = cell_ownership(&cluster);
+
+    let joiner = cluster.add_shard().unwrap();
+    assert_eq!(cluster.num_shards(), SHARDS + 1);
+    let after = cell_ownership(&cluster);
+
+    // Every migrated cell landed on the joiner with its *exact* old
+    // deadline (re-seeded from the missed-deadline phase, not from zero):
+    // no thundering re-cluster of the stolen cells, no skipped round.
+    let mut migrated = 0;
+    for (index, (&(_, id_before, due_before), &(_, id_after, due_after))) in
+        before.iter().zip(after.iter()).enumerate()
+    {
+        assert_eq!(
+            due_after, due_before,
+            "cell {index} deadline must survive the join"
+        );
+        if id_after != id_before {
+            migrated += 1;
+            assert_eq!(id_after, joiner, "cell {index} moved to a non-joiner");
+        }
+    }
+    assert!(migrated > 0, "the joiner must adopt some cells");
+
+    // One sweep past every deadline still fires each cell exactly once
+    // across the grown fleet — no duplicate clustering, no missed round.
+    let cells = cells_at_level(cfg.clustering_level);
+    let runs_before = cluster.stats().cluster_runs;
+    let sweep_at = Timestamp::from_secs_f64(90.0 + cfg.cluster_interval_secs + 1.0);
+    for shard in 0..cluster.num_shards() {
+        cluster.run_due_clustering_shard(shard, sweep_at).unwrap();
+    }
+    assert_eq!(
+        cluster.stats().cluster_runs - runs_before,
+        cells,
+        "post-join sweep must cluster each cell exactly once"
     );
 }

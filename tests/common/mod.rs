@@ -1,0 +1,24 @@
+//! Helpers shared by the cluster-tier integration tests.
+
+use moist::core::MoistCluster;
+use moist::spatial::cells_at_level;
+
+/// The owner position of every clustering cell, asserting along the way
+/// that exactly one live shard owns each cell — the tier's partition
+/// invariant, checked after joins, kills and churn alike.
+pub fn sole_owner_positions(cluster: &MoistCluster) -> Vec<usize> {
+    let cells = cells_at_level(cluster.config().clustering_level);
+    (0..cells)
+        .map(|index| {
+            let owners: Vec<usize> = (0..cluster.num_shards())
+                .filter(|&i| {
+                    cluster
+                        .with_shard(i, |s| s.scheduler().owns(index))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(owners.len(), 1, "cell {index} owners: {owners:?}");
+            owners[0]
+        })
+        .collect()
+}
