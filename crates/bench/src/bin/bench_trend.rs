@@ -1,19 +1,23 @@
-//! Bench trajectory report: diffs the QPS figures a fresh smoke run just
-//! wrote against the previous run's archived JSON and prints a delta
-//! table in the job log.
+//! Bench trajectory report *and* regression gate: diffs the QPS figures a
+//! fresh smoke run just wrote against the previous run's archived JSON,
+//! prints a delta table in the job log, and (in `--check` mode) fails the
+//! job when any metric regressed beyond the threshold.
 //!
 //! CI snapshots the committed `bench_results/*.json` before running the
 //! smoke bins, then invokes
 //!
 //! ```text
-//! bench_trend <previous_dir> <current_dir>
+//! bench_trend [--check] [--max-drop-pct <pct>] <previous_dir> <current_dir>
 //! ```
 //!
 //! Figures present in both directories are compared series by series,
-//! point by point. The report is informational — regressions are printed
-//! loudly (and summarised on exit) but never fail the job, because smoke
-//! runs on shared CI hardware wobble; the archived artifacts carry the
-//! long-run trajectory.
+//! point by point. Without `--check` the report is informational. With
+//! `--check` the process exits non-zero if any overlapping point dropped
+//! more than `--max-drop-pct` percent (default 15) — the smoke figures
+//! are virtual-time QPS, deterministic enough to gate on. The cases that
+//! must *not* fail the gate and do not: a first run (no previous
+//! archive), a brand-new figure, a brand-new series, and new points
+//! (e.g. a new shard count) — there is nothing to regress against.
 
 use moist_bench::results_dir;
 use serde_json::Value;
@@ -68,17 +72,46 @@ fn parse_figure(value: &Value) -> Option<(String, FigureData)> {
     Some((id, data))
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_trend [--check] [--max-drop-pct <pct>] [<previous_dir> [<current_dir>]]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (prev_dir, cur_dir) = match args.as_slice() {
-        [prev, cur] => (PathBuf::from(prev), PathBuf::from(cur)),
-        [prev] => (PathBuf::from(prev), results_dir()),
-        [] => (results_dir().join("prev"), results_dir()),
-        _ => {
-            eprintln!("usage: bench_trend [<previous_dir> [<current_dir>]]");
-            std::process::exit(2);
+    let mut check = false;
+    let mut max_drop_pct: Option<f64> = None;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--max-drop-pct" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if v <= 0.0 || !v.is_finite() {
+                    usage();
+                }
+                max_drop_pct = Some(v);
+            }
+            // A typoed flag must not silently become a (nonexistent)
+            // directory — that would disable the gate with exit 0.
+            s if s.starts_with('-') => usage(),
+            _ => dirs.push(PathBuf::from(arg)),
         }
+    }
+    let (prev_dir, cur_dir) = match dirs.as_slice() {
+        [prev, cur] => (prev.clone(), cur.clone()),
+        [prev] => (prev.clone(), results_dir()),
+        [] => (results_dir().join("prev"), results_dir()),
+        _ => usage(),
     };
+    // An explicit --max-drop-pct sets the marker threshold in both modes
+    // (the flag is never silently ignored); the gate defaults to 15%, the
+    // informational report to its historic 10% marker.
+    let drop_pct = max_drop_pct.unwrap_or(if check { 15.0 } else { 10.0 });
     let prev = load_dir(&prev_dir);
     let cur = load_dir(&cur_dir);
     if prev.is_empty() {
@@ -134,7 +167,7 @@ fn main() {
                 }
                 let pct = (y - py) / py * 100.0;
                 compared += 1;
-                if pct < -10.0 {
+                if pct < -drop_pct {
                     regressions += 1;
                 }
                 println!(
@@ -145,18 +178,31 @@ fn main() {
                     py,
                     y,
                     pct,
-                    if pct < -10.0 { "  <-- regression?" } else { "" }
+                    if pct < -drop_pct {
+                        "  <-- regression?"
+                    } else {
+                        ""
+                    }
                 );
             }
         }
     }
     if compared == 0 {
         println!("[bench_trend] no overlapping points between the two runs");
+    } else if check {
+        println!("[bench_trend] compared {compared} points against a {drop_pct}% drop gate");
     } else {
         println!(
-            "[bench_trend] compared {compared} points; {regressions} dropped more than 10% \
-             (informational — smoke QPS wobbles on shared runners)"
+            "[bench_trend] compared {compared} points; {regressions} dropped more than \
+             {drop_pct}% (informational — smoke QPS wobbles on shared runners)"
         );
+    }
+    if check && regressions > 0 {
+        eprintln!(
+            "[bench_trend] FAIL: {regressions} metric(s) regressed more than {drop_pct}% \
+             vs the previous archive"
+        );
+        std::process::exit(1);
     }
 }
 

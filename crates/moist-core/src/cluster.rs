@@ -286,6 +286,50 @@ pub(crate) fn rendezvous_max<T>(
     })
 }
 
+/// Slices a region query's merged leaf-index ranges by rendezvous owner:
+/// each range is split at clustering-cell boundaries (a clustering cell at
+/// `clustering_level` spans `4^(leaf_level − clustering_level)` contiguous
+/// leaf indexes) and every piece goes to the [`rendezvous_owner`] of its
+/// clustering cell, with adjacent same-owner pieces re-merged so each shard
+/// still scans maximal contiguous ranges.
+///
+/// The returned slices are an **exact partition** of the input: no leaf
+/// index is dropped, duplicated, or moved — the scatter-gather region path
+/// scans precisely the ranges the single-server plan would have
+/// (property-tested in `moist-core/tests/rendezvous_props.rs`).
+///
+/// Returns `(owner id, that owner's merged ranges)` pairs in ascending
+/// owner-id order. Panics if `members` is empty or `clustering_level >
+/// leaf_level` (both are rejected by [`MoistConfig::validate`]).
+pub fn slice_ranges_by_owner(
+    ranges: &[(u64, u64)],
+    clustering_level: u8,
+    leaf_level: u8,
+    members: &[u64],
+) -> Vec<(u64, Vec<(u64, u64)>)> {
+    assert!(
+        clustering_level <= leaf_level,
+        "clustering level {clustering_level} finer than leaf level {leaf_level}"
+    );
+    let shift = 2 * (leaf_level - clustering_level) as u64;
+    let mut by_owner: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for &(start, end) in ranges {
+        let mut s = start;
+        while s < end {
+            let cell = s >> shift;
+            let e = end.min((cell + 1) << shift);
+            let slots = by_owner.entry(rendezvous_owner(cell, members)).or_default();
+            match slots.last_mut() {
+                Some((_, le)) if *le == s => *le = e,
+                _ => slots.push((s, e)),
+            }
+            s = e;
+        }
+    }
+    by_owner.into_iter().collect()
+}
+
 /// Tracks per-cell clustering deadlines so servers can run lazy clustering
 /// on the configured interval `T_c`.
 ///

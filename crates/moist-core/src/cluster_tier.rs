@@ -52,6 +52,30 @@
 //! parallel on real OS threads (drive it with
 //! `moist_workload::ClientPool`).
 //!
+//! ## Query fan-out (scatter-gather)
+//!
+//! Updates route to one shard by design — a cell's writes must serialize
+//! on its owner. Queries have no such constraint: any shard reads a
+//! consistent view of the shared store. [`region`](MoistCluster::region)
+//! therefore plans its merged leaf ranges once, slices them by rendezvous
+//! owner ([`crate::cluster::slice_ranges_by_owner`] — an exact partition
+//! of the plan), scans every slice on a pooled worker
+//! ([`crate::query_pool::QueryPool`]) against its owner shard, and merges
+//! the partials: hits move (never clone) into one list and each object is
+//! deduplicated exactly once at the merge — the same per-object dedup that
+//! heals the clustering-vs-move races, now applied across shards. The
+//! client-visible cost is the *slowest* partial, not the sum, because the
+//! slices consume store time in parallel. [`nn`](MoistCluster::nn)
+//! scatters only when its candidate ring (query cell + edge neighbours at
+//! the FLAG level) crosses an ownership boundary, and the merge *replays*
+//! the single-shard frontier search over the scanned candidates
+//! ([`crate::nn::merge_ring_partials`]) — if the replayed frontier would
+//! escape the ring, the query falls back to the real single-shard search,
+//! so fan-out never trades exactness for speed. An epoch bump mid-scatter re-routes
+//! only the migrated slices: each worker re-validates its slice against
+//! the freshest membership snapshot and hands back the pieces whose cells
+//! moved, which the gather loop re-slices and re-dispatches.
+//!
 //! [`add_shard`]: MoistCluster::add_shard
 //! [`remove_shard`]: MoistCluster::remove_shard
 //!
@@ -79,12 +103,14 @@
 //! # Ok::<(), moist_core::MoistError>(())
 //! ```
 
-use crate::cluster::{rendezvous_max, ClusterReport, ClusterScheduler};
+use crate::cluster::{rendezvous_max, slice_ranges_by_owner, ClusterReport, ClusterScheduler};
 use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
-use crate::nn::{Neighbor, NnStats};
-use crate::region::RegionStats;
+use crate::nn::{merge_ring_partials, nn_candidate_ring};
+use crate::nn::{Neighbor, NnOptions, NnPartial, NnStats};
+use crate::query_pool::QueryPool;
+use crate::region::{merge_region_partials, plan_region_ranges, RegionPartial, RegionStats};
 use crate::server::{MoistServer, ServerStats};
 use crate::update::{UpdateMessage, UpdateOutcome};
 use moist_archive::PppArchiver;
@@ -93,6 +119,12 @@ use moist_spatial::{cells_at_level, CellId, Point, Rect};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Scatter rounds after which a region query stops re-validating slice
+/// ownership and scans wherever the last slicing routed them. Reads are
+/// correct on any shard (the store is shared); the cap only bounds the
+/// re-route loop under pathological non-stop churn.
+const MAX_REROUTE_ROUNDS: usize = 4;
 
 /// One live shard: its stable id plus the mutexed server.
 struct ShardEntry {
@@ -141,7 +173,14 @@ impl Membership {
             ))
         })
     }
+
+    fn entry_by_id(&self, id: u64) -> Option<&Arc<ShardEntry>> {
+        self.shards.iter().find(|e| e.id == id)
+    }
 }
+
+/// A set of merged `[start, end)` leaf-index ranges.
+type RangeSet = Vec<(u64, u64)>;
 
 /// Bookkeeping for shards that left the tier: folded counters plus the
 /// entries that may still be referenced by in-flight operations.
@@ -184,7 +223,11 @@ pub struct MoistCluster {
     cfg: MoistConfig,
     store: Arc<Bigtable>,
     /// Read-mostly membership snapshot; swapped whole on epoch bumps.
-    membership: RwLock<Arc<Membership>>,
+    /// Behind an `Arc` so scatter workers on the [`QueryPool`] can
+    /// re-validate slice ownership against the freshest snapshot.
+    membership: Arc<RwLock<Arc<Membership>>>,
+    /// Shared worker pool running scattered query slices in parallel.
+    query_pool: QueryPool,
     /// Counters of shards that left the tier (their updates — absorbed
     /// while live or in flight — must stay in [`stats`]). A departed
     /// shard's entry lingers only until its last in-flight `Arc` drops,
@@ -236,10 +279,11 @@ impl MoistCluster {
         Ok(MoistCluster {
             cfg,
             store: Arc::clone(store),
-            membership: RwLock::new(Arc::new(Membership {
+            membership: Arc::new(RwLock::new(Arc::new(Membership {
                 epoch: 0,
                 shards: entries,
-            })),
+            }))),
+            query_pool: QueryPool::sized_for_host(),
             retired: Mutex::new(RetiredShards::default()),
             object_estimate,
             archiver: None,
@@ -498,13 +542,81 @@ impl MoistCluster {
         }
     }
 
-    /// FLAG-tuned k-nearest-neighbour query, routed by the query point's
-    /// clustering cell.
+    /// FLAG-tuned k-nearest-neighbour query.
+    ///
+    /// When the candidate ring (query cell + edge neighbours at the FLAG
+    /// level) crosses a shard-ownership boundary, the ring's scans scatter
+    /// across the owning shards in parallel and the partials merge; when
+    /// the merged ring cannot *prove* the k-th neighbour (its distance
+    /// exceeds the ring's covered radius) the query falls back to the
+    /// exact single-shard frontier search, so the answer is always the
+    /// plain Algorithm 2 answer. Rings on one shard skip the scatter
+    /// entirely — the current anchor-routed path.
     pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
         let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
-        let entry = self.owner_entry(cell.index);
-        let mut server = entry.server.lock();
-        server.nn(center, k, at)
+        let anchor = self.owner_entry(cell.index);
+        let level = { anchor.server.lock().flag_level(&center, at)? };
+        self.nn_scatter(center, k, at, level, &anchor)
+    }
+
+    /// The scatter-or-fallback NN body shared by [`nn`](MoistCluster::nn).
+    fn nn_scatter(
+        &self,
+        center: Point,
+        k: usize,
+        at: Timestamp,
+        nn_level: u8,
+        anchor: &Arc<ShardEntry>,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        let ring = nn_candidate_ring(&self.cfg, &center, nn_level);
+        let snap = self.snapshot();
+        let mut by_owner: Vec<(Arc<ShardEntry>, Vec<CellId>)> = Vec::new();
+        for &cell in &ring {
+            let owner = snap.owner_of(self.clustering_index_of(cell));
+            match by_owner.iter_mut().find(|(e, _)| e.id == owner.id) {
+                Some((_, cells)) => cells.push(cell),
+                None => by_owner.push((Arc::clone(owner), vec![cell])),
+            }
+        }
+        if k == 0 || by_owner.len() <= 1 {
+            // The whole ring lives on one shard: plain Algorithm 2 there.
+            let mut server = anchor.server.lock();
+            return server.nn_at_level(center, k, at, nn_level);
+        }
+
+        let opts = NnOptions::new(k, nn_level);
+        let tasks: Vec<_> = by_owner
+            .into_iter()
+            .map(|(entry, cells)| {
+                move || -> Result<NnPartial> {
+                    let mut server = entry.server.lock();
+                    server.nn_partial(&cells, center, at, &opts)
+                }
+            })
+            .collect();
+        let mut parts = Vec::new();
+        for outcome in self.query_pool.scatter(tasks) {
+            parts.push(outcome?);
+        }
+        let (merged, mut stats) = merge_ring_partials(&self.cfg, &center, &ring, parts, &opts);
+        if let Some(nn) = merged {
+            // One client query: the scattered partials are not counted
+            // individually, so credit the anchor shard with the query.
+            anchor.server.lock().note_query_served();
+            return Ok((nn, stats));
+        }
+        // The replayed frontier escaped the ring (sparse cells, or a
+        // school/velocity bound the ring cannot prove): run the exact
+        // frontier search on the anchor. The scattered scan stays on the
+        // bill — the client saw both phases.
+        let (nn, fallback) = {
+            let mut server = anchor.server.lock();
+            server.nn_at_level(center, k, at, nn_level)?
+        };
+        stats.cells_scanned += fallback.cells_scanned;
+        stats.leaders_fetched += fallback.leaders_fetched;
+        stats.cost_us += fallback.cost_us;
+        Ok((nn, stats))
     }
 
     /// k-NN at a fixed search level, routed like [`MoistCluster::nn`].
@@ -521,8 +633,118 @@ impl MoistCluster {
         server.nn_at_level(center, k, at, nn_level)
     }
 
-    /// Region query routed by the rectangle's centre.
+    /// Region query, scatter-gathered across the owning shards.
+    ///
+    /// The merged leaf ranges are planned once, owner-sliced (an exact
+    /// partition — see [`slice_ranges_by_owner`]), scanned in parallel on
+    /// the [`QueryPool`] (one slice per owning shard, each under its own
+    /// shard lock), and merged: hits move into one list and each object
+    /// dedups exactly once at the merge. `cost_us` in the returned stats
+    /// is the client-visible latency of the fan-out: within a scatter
+    /// round the slices overlap, so the round costs its *slowest* partial,
+    /// and the (rare, churn-only) re-route rounds run back to back, so
+    /// rounds *add*. `shards_scattered` counts distinct shards that
+    /// scanned. A plan whose ranges all belong to one shard runs inline on
+    /// that shard, no pool hop.
+    ///
+    /// Workers re-validate their slice against the freshest membership
+    /// snapshot (re-slicing it with the same property-tested
+    /// [`slice_ranges_by_owner`] the dispatch used), so an epoch bump
+    /// mid-scatter re-routes only the slices whose cells actually
+    /// migrated; reads are correct on any shard (one shared store), the
+    /// re-route just keeps load on the current owners.
     pub fn region(
+        &self,
+        rect: &Rect,
+        at: Timestamp,
+        margin: f64,
+    ) -> Result<(Vec<Neighbor>, RegionStats)> {
+        let clustering_level = self.cfg.clustering_level;
+        let leaf_level = self.cfg.space.leaf_level;
+        let mut pending = plan_region_ranges(&self.cfg, rect, margin);
+        let mut parts: Vec<RegionPartial> = Vec::new();
+        let mut scanned_shards: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut cost_us = 0.0f64;
+        let mut round = 0usize;
+        while !pending.is_empty() {
+            round += 1;
+            let revalidate = round < MAX_REROUTE_ROUNDS;
+            let snap = self.snapshot();
+            let slices = slice_ranges_by_owner(&pending, clustering_level, leaf_level, &snap.ids());
+            pending = Vec::new();
+            let rect = *rect;
+            let dispatch_epoch = snap.epoch;
+            let tasks: Vec<_> = slices
+                .into_iter()
+                .map(|(id, ranges)| {
+                    let entry = Arc::clone(snap.entry_by_id(id).expect("sliced to a live owner"));
+                    let membership = Arc::clone(&self.membership);
+                    move || -> Result<(u64, RegionPartial, RangeSet)> {
+                        let (mine, migrated) = if revalidate {
+                            // Freshest snapshot; the read guard drops
+                            // before the shard lock is taken, so there is
+                            // no ordering cycle with add/remove_shard
+                            // (which hold the write lock while locking
+                            // shards for the handoff). Same epoch — the
+                            // common, churn-free case — means the dispatch
+                            // slicing is still exact: skip re-hashing.
+                            let now = membership.read().clone();
+                            if now.epoch == dispatch_epoch {
+                                (ranges, Vec::new())
+                            } else {
+                                let mut mine = Vec::new();
+                                let mut migrated = Vec::new();
+                                for (owner, slice) in slice_ranges_by_owner(
+                                    &ranges,
+                                    clustering_level,
+                                    leaf_level,
+                                    &now.ids(),
+                                ) {
+                                    if owner == entry.id {
+                                        mine = slice;
+                                    } else {
+                                        migrated.extend(slice);
+                                    }
+                                }
+                                (mine, migrated)
+                            }
+                        } else {
+                            (ranges, Vec::new())
+                        };
+                        if mine.is_empty() {
+                            return Ok((entry.id, RegionPartial::default(), migrated));
+                        }
+                        let mut server = entry.server.lock();
+                        let part = server.region_partial(&mine, &rect, at)?;
+                        Ok((entry.id, part, migrated))
+                    }
+                })
+                .collect();
+            let mut round_cost = 0.0f64;
+            for outcome in self.query_pool.scatter(tasks) {
+                let (id, part, migrated) = outcome?;
+                round_cost = round_cost.max(part.stats.cost_us);
+                if part.stats.shards_scattered > 0 {
+                    scanned_shards.insert(id);
+                    parts.push(part);
+                }
+                pending.extend(migrated);
+            }
+            // Rounds run sequentially: the client waits for each round's
+            // slowest slice in turn.
+            cost_us += round_cost;
+        }
+        let (hits, mut stats) = merge_region_partials(parts);
+        stats.cost_us = cost_us;
+        stats.shards_scattered = scanned_shards.len();
+        Ok((hits, stats))
+    }
+
+    /// The pre-fan-out region path: the whole query runs on the single
+    /// shard owning the rectangle's centre cell. Kept as the baseline the
+    /// `fig15_fanout` bench compares scatter-gather against (and the
+    /// right call when a deployment pins queries for cache locality).
+    pub fn region_anchor(
         &self,
         rect: &Rect,
         at: Timestamp,
@@ -873,6 +1095,116 @@ mod tests {
             .nn(Point::new(500.0, 500.0), 64, Timestamp::ZERO)
             .unwrap();
         assert_eq!(nn.len(), 64);
+    }
+
+    /// Deterministic xorshift scatter in (0, 1000)².
+    fn scattered(n: u64) -> Vec<(u64, f64, f64)> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| (i, next() * 1000.0, next() * 1000.0))
+            .collect()
+    }
+
+    #[test]
+    fn scattered_region_matches_anchor_routing_and_fans_out() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3, // 64 cells spread over the shards
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        for &(i, x, y) in &scattered(200) {
+            cluster.update(&msg(i, x, y, 0.0, 0.0)).unwrap();
+        }
+        let rects = [
+            cfg.space.world,
+            Rect::new(100.0, 100.0, 900.0, 450.0),
+            Rect::new(700.0, 700.0, 780.0, 790.0),
+        ];
+        for rect in &rects {
+            let (anchor, _) = cluster.region_anchor(rect, Timestamp::ZERO, 0.0).unwrap();
+            let (fanout, stats) = cluster.region(rect, Timestamp::ZERO, 0.0).unwrap();
+            let a: Vec<u64> = anchor.iter().map(|n| n.oid.0).collect();
+            let f: Vec<u64> = fanout.iter().map(|n| n.oid.0).collect();
+            assert_eq!(a, f, "fan-out must return the anchor answer");
+            let mut unique = f.clone();
+            unique.dedup();
+            assert_eq!(unique.len(), f.len(), "no duplicated objects");
+            assert!(stats.ranges_scanned >= 1);
+        }
+        // The whole map genuinely scatters across several shards, and its
+        // client-visible cost is the slowest slice, below the serialized
+        // anchor scan.
+        let (_, anchor_stats) = cluster
+            .region_anchor(&cfg.space.world, Timestamp::ZERO, 0.0)
+            .unwrap();
+        let (_, fan_stats) = cluster
+            .region(&cfg.space.world, Timestamp::ZERO, 0.0)
+            .unwrap();
+        assert!(
+            fan_stats.shards_scattered >= 2,
+            "whole-map query must scatter, got {fan_stats:?}"
+        );
+        assert!(
+            fan_stats.cost_us < anchor_stats.cost_us,
+            "overlapped slices must beat the serialized scan: {} vs {}",
+            fan_stats.cost_us,
+            anchor_stats.cost_us
+        );
+    }
+
+    #[test]
+    fn scattered_nn_agrees_with_the_single_shard_frontier_search() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 3,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 5).unwrap();
+        for &(i, x, y) in &scattered(300) {
+            cluster.update(&msg(i, x, y, 0.0, 0.0)).unwrap();
+        }
+        // Form schools: zero-velocity co-located leaders merge, so many
+        // probes now return followers displaced up to a clustering-cell
+        // diagonal from their leader's spatial entry — exactly the shape
+        // that would diverge if the merge trusted cell distances instead
+        // of replaying the frontier.
+        cluster
+            .run_due_clustering(Timestamp::from_secs(25))
+            .unwrap();
+        let queries_before = cluster.stats().nn_queries;
+        let mut oracle = MoistServer::new(&store, cfg).unwrap();
+        // Probe points include cell-boundary huggers (the scatter case)
+        // and interior points (the single-shard case).
+        let probes = [
+            Point::new(500.0, 500.0),
+            Point::new(499.9, 250.1),
+            Point::new(125.3, 875.2),
+            Point::new(3.0, 3.0),
+            Point::new(750.1, 749.9),
+        ];
+        let mut total = 0u64;
+        for p in &probes {
+            for k in [1usize, 5, 20] {
+                let (got, _) = cluster.nn(*p, k, Timestamp::ZERO).unwrap();
+                let level = oracle.flag_level(p, Timestamp::ZERO).unwrap();
+                let (want, _) = oracle.nn_at_level(*p, k, Timestamp::ZERO, level).unwrap();
+                let got_ids: Vec<u64> = got.iter().map(|n| n.oid.0).collect();
+                let want_ids: Vec<u64> = want.iter().map(|n| n.oid.0).collect();
+                assert_eq!(got_ids, want_ids, "probe {p:?} k={k}");
+                total += 1;
+            }
+        }
+        // Every client query counts exactly once, whichever path (pure
+        // scatter, scatter + fallback, or single-shard) served it.
+        assert_eq!(cluster.stats().nn_queries - queries_before, total);
     }
 
     #[test]

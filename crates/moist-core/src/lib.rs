@@ -49,13 +49,17 @@ pub mod flag;
 pub mod hexgrid;
 pub mod ids;
 pub mod nn;
+pub mod query_pool;
 pub mod region;
 pub mod school;
 pub mod server;
 pub mod tables;
 pub mod update;
 
-pub use cluster::{cluster_cell, cluster_sweep, rendezvous_owner, ClusterReport, ClusterScheduler};
+pub use cluster::{
+    cluster_cell, cluster_sweep, rendezvous_owner, slice_ranges_by_owner, ClusterReport,
+    ClusterScheduler,
+};
 pub use cluster_tier::MoistCluster;
 pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};
@@ -63,8 +67,15 @@ pub use error::{MoistError, Result};
 pub use flag::{FlagStats, FlagTuner};
 pub use hexgrid::{HexBin, HexGrid};
 pub use ids::ObjectId;
-pub use nn::{nn_query, Neighbor, NnOptions, NnStats};
-pub use region::{region_query, RegionStats};
+pub use nn::{
+    merge_ring_partials, nn_candidate_ring, nn_partial_scan, nn_query, Neighbor, NnCandidate,
+    NnOptions, NnPartial, NnStats,
+};
+pub use query_pool::QueryPool;
+pub use region::{
+    merge_region_partials, plan_region_ranges, region_partial_scan, region_query, RegionPartial,
+    RegionStats,
+};
 pub use school::{estimated_location, within_school};
 pub use server::{MoistServer, ServerStats};
 pub use tables::{MoistTables, SpatialEntry};

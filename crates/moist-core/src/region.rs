@@ -6,6 +6,18 @@
 //! parallelism to read data from multiple ranges." We cover the region with
 //! cells at an adaptive level, merge adjacent cells into maximal contiguous
 //! key ranges (one scan RPC each), and expand schools like NN search does.
+//!
+//! The query is split into three separable stages so a cluster tier can
+//! scatter it across shards ([`crate::cluster_tier::MoistCluster::region`]):
+//!
+//! 1. [`plan_region_ranges`] — pure planning: the merged contiguous
+//!    leaf-index ranges covering the margin-enlarged window;
+//! 2. [`region_partial_scan`] — scan any subset of those ranges and expand
+//!    schools, returning a mergeable [`RegionPartial`] (no sort, no dedup);
+//! 3. [`merge_region_partials`] — fold partials *by move* into the final
+//!    answer, deduplicating each object exactly once at the merge.
+//!
+//! [`region_query`] runs all three on one session — the single-server path.
 
 use crate::config::MoistConfig;
 use crate::error::Result;
@@ -21,31 +33,34 @@ pub struct RegionStats {
     pub ranges_scanned: usize,
     /// Leader rows retrieved.
     pub leaders_fetched: usize,
-    /// Virtual µs the query cost.
+    /// Shards that contributed partial scans (1 for single-server runs).
+    pub shards_scattered: usize,
+    /// Client-visible virtual µs. Partials scanned in parallel overlap, so
+    /// a merged query reports the *slowest* partial, not the sum.
     pub cost_us: f64,
 }
 
-/// Returns every object inside the world-coordinate `rect` at time `at`
-/// (leaders extrapolated linearly; followers at leader + displacement when
-/// `include_followers`).
+/// One shard's share of a (possibly scattered) region query: raw hits plus
+/// that scan's counters. Hits are unordered and may contain duplicates
+/// across partials — a clustering merge on one shard can race an object's
+/// own cross-cell move on another, so the same object can surface both as
+/// a spatial entry in one partial and inside a school expansion in another.
+/// Deduplication happens exactly once, in [`merge_region_partials`].
+#[derive(Debug, Default)]
+pub struct RegionPartial {
+    /// Raw hits (objects inside the query rectangle), unsorted, undeduped.
+    pub hits: Vec<Neighbor>,
+    /// This partial's own scan counters and virtual cost.
+    pub stats: RegionStats,
+}
+
+/// Plans a region query: the maximal contiguous leaf-index ranges covering
+/// the `margin`-enlarged window around `rect`, in curve order.
 ///
-/// `margin` enlarges the *scanned* window (not the returned filter): the
-/// Spatial Index Table stores last-reported positions, so an object indexed
-/// just outside the rect may have moved inside since, and a school leader
-/// outside may carry followers displaced inside. Choose
-/// `margin ≥ v_max · max-staleness + school radius` for exact results —
-/// the same enlargement rule the Bx-tree applies to its windows.
-pub fn region_query(
-    s: &mut Session,
-    tables: &MoistTables,
-    cfg: &MoistConfig,
-    rect: &Rect,
-    at: Timestamp,
-    include_followers: bool,
-    margin: f64,
-) -> Result<(Vec<Neighbor>, RegionStats)> {
-    let mut stats = RegionStats::default();
-    let cost0 = s.elapsed_us();
+/// Pure computation — no store access, no cost charged — so a cluster tier
+/// can plan once, slice the ranges by shard owner, and hand each shard its
+/// slice without any shard re-planning.
+pub fn plan_region_ranges(cfg: &MoistConfig, rect: &Rect, margin: f64) -> Vec<(u64, u64)> {
     let m = margin.max(0.0);
     let scan_rect = Rect::new(
         rect.min_x - m,
@@ -76,23 +91,46 @@ pub fn region_query(
             _ => ranges.push((start, end)),
         }
     }
+    ranges
+}
+
+/// Scans a pre-planned slice of a region query's leaf ranges: retrieves the
+/// leaders in `ranges`, filters by the true `rect`, and (optionally)
+/// expands their schools. Returns the raw partial — no sort, no dedup;
+/// those happen once, in [`merge_region_partials`].
+pub fn region_partial_scan(
+    s: &mut Session,
+    tables: &MoistTables,
+    ranges: &[(u64, u64)],
+    rect: &Rect,
+    at: Timestamp,
+    include_followers: bool,
+) -> Result<RegionPartial> {
+    let mut stats = RegionStats {
+        shards_scattered: 1,
+        ..RegionStats::default()
+    };
+    let cost0 = s.elapsed_us();
     let mut leaders = Vec::new();
-    for &(start, end) in &ranges {
+    for &(start, end) in ranges {
+        if end <= start {
+            continue;
+        }
         let entries = tables.spatial_scan_range(s, start, end, None)?;
         stats.ranges_scanned += 1;
         stats.leaders_fetched += entries.len();
         leaders.extend(entries);
     }
-    let mut out: Vec<Neighbor> = Vec::new();
+    let mut hits: Vec<Neighbor> = Vec::new();
     let mut kept: Vec<(crate::tables::SpatialEntry, moist_spatial::Point)> = Vec::new();
     for entry in leaders {
         let pos = entry
             .record
             .loc
             .advance(entry.record.vel, at.secs_since(entry.ts));
-        // The cover is a superset: filter by the true rectangle.
+        // The planned cover is a superset: filter by the true rectangle.
         if rect.contains(&pos) {
-            out.push(Neighbor {
+            hits.push(Neighbor {
                 oid: entry.oid,
                 loc: pos,
                 distance: 0.0,
@@ -111,7 +149,7 @@ pub fn region_query(
             for (foid, disp) in followers {
                 let pos = leader_pos.translate(disp);
                 if rect.contains(&pos) {
-                    out.push(Neighbor {
+                    hits.push(Neighbor {
                         oid: foid,
                         loc: pos,
                         distance: 0.0,
@@ -121,10 +159,53 @@ pub fn region_query(
             }
         }
     }
+    stats.cost_us = s.elapsed_us() - cost0;
+    Ok(RegionPartial { hits, stats })
+}
+
+/// Folds partial results into the final region answer: hits are moved (not
+/// cloned) into one vector, sorted by object id, and deduplicated exactly
+/// once. Scan counters add up; `cost_us` is the *maximum* partial cost,
+/// because scattered partials consume store time in parallel — that max is
+/// the client-visible latency of the fan-out.
+pub fn merge_region_partials(parts: Vec<RegionPartial>) -> (Vec<Neighbor>, RegionStats) {
+    let mut stats = RegionStats::default();
+    let total: usize = parts.iter().map(|p| p.hits.len()).sum();
+    let mut out: Vec<Neighbor> = Vec::with_capacity(total);
+    for part in parts {
+        stats.ranges_scanned += part.stats.ranges_scanned;
+        stats.leaders_fetched += part.stats.leaders_fetched;
+        stats.shards_scattered += part.stats.shards_scattered;
+        stats.cost_us = stats.cost_us.max(part.stats.cost_us);
+        out.extend(part.hits);
+    }
     out.sort_by_key(|n| n.oid);
     out.dedup_by_key(|n| n.oid);
-    stats.cost_us = s.elapsed_us() - cost0;
-    Ok((out, stats))
+    (out, stats)
+}
+
+/// Returns every object inside the world-coordinate `rect` at time `at`
+/// (leaders extrapolated linearly; followers at leader + displacement when
+/// `include_followers`).
+///
+/// `margin` enlarges the *scanned* window (not the returned filter): the
+/// Spatial Index Table stores last-reported positions, so an object indexed
+/// just outside the rect may have moved inside since, and a school leader
+/// outside may carry followers displaced inside. Choose
+/// `margin ≥ v_max · max-staleness + school radius` for exact results —
+/// the same enlargement rule the Bx-tree applies to its windows.
+pub fn region_query(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    rect: &Rect,
+    at: Timestamp,
+    include_followers: bool,
+    margin: f64,
+) -> Result<(Vec<Neighbor>, RegionStats)> {
+    let ranges = plan_region_ranges(cfg, rect, margin);
+    let part = region_partial_scan(s, tables, &ranges, rect, at, include_followers)?;
+    Ok(merge_region_partials(vec![part]))
 }
 
 #[cfg(test)]

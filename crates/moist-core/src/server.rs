@@ -343,6 +343,52 @@ impl MoistServer {
         )
     }
 
+    /// Shard-local slice of a scattered region query: scans exactly the
+    /// pre-planned leaf `ranges` (no re-planning — the cluster tier planned
+    /// once and owner-sliced the ranges) and returns the raw mergeable
+    /// partial. Counted as neither a query nor deduped here; the tier's
+    /// merge does that exactly once.
+    pub fn region_partial(
+        &mut self,
+        ranges: &[(u64, u64)],
+        rect: &moist_spatial::Rect,
+        at: Timestamp,
+    ) -> Result<crate::region::RegionPartial> {
+        crate::region::region_partial_scan(&mut self.session, &self.tables, ranges, rect, at, true)
+    }
+
+    /// Counts one served NN query without running one — the cluster tier
+    /// calls this on the anchor shard when a *scattered* query completes
+    /// from partials alone, so [`ServerStats::nn_queries`] reflects every
+    /// client query exactly once regardless of which path served it.
+    pub fn note_query_served(&mut self) {
+        self.stats.nn_queries += 1;
+    }
+
+    /// Shard-local slice of a scattered NN query: scans exactly the given
+    /// candidate-ring `cells` (no frontier search — the cluster tier chose
+    /// them) and returns every candidate they produce. Not counted in
+    /// [`ServerStats::nn_queries`]: a scattered query is one client query,
+    /// not one per shard — the tier credits it via
+    /// [`note_query_served`](MoistServer::note_query_served).
+    pub fn nn_partial(
+        &mut self,
+        cells: &[moist_spatial::CellId],
+        center: Point,
+        at: Timestamp,
+        opts: &NnOptions,
+    ) -> Result<crate::nn::NnPartial> {
+        crate::nn::nn_partial_scan(
+            &mut self.session,
+            &self.tables,
+            &self.cfg,
+            cells,
+            center,
+            at,
+            opts,
+        )
+    }
+
     /// Current position of one object: leaders from their latest record,
     /// followers via the school estimate (§3.3.1).
     pub fn position(&mut self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {

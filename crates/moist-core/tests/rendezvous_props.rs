@@ -12,7 +12,7 @@
 //!    exact partition that agrees with [`rendezvous_owner`], so routing
 //!    and clustering can never disagree about a cell's home shard.
 
-use moist_core::{rendezvous_owner, ClusterScheduler, MoistConfig};
+use moist_core::{rendezvous_owner, slice_ranges_by_owner, ClusterScheduler, MoistConfig};
 use proptest::prelude::*;
 
 /// A membership of 1–12 distinct shard ids drawn from a wide id space
@@ -115,6 +115,64 @@ proptest! {
                 "cell {} owner depends on list order", cell
             );
         }
+    }
+
+    #[test]
+    fn owner_sliced_ranges_exactly_partition_the_range_set(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("owner_slices", seed);
+        let ids = membership(&mut rng, 10);
+        let clustering_level = (rng.below(6) + 1) as u8; // 1..=6
+        let leaf_level = clustering_level + (rng.below(5) as u8); // up to +4 finer
+        let leaf_span = 1u64 << (2 * leaf_level as u64);
+        let shift = 2 * (leaf_level - clustering_level) as u64;
+
+        // A random set of disjoint, non-adjacent merged ranges — the shape
+        // `plan_region_ranges` produces (gaps >= 1 keep them maximal).
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = rng.below(8);
+        while cursor < leaf_span && ranges.len() < 24 {
+            let len = 1 + rng.below(leaf_span.div_ceil(6).max(1));
+            let end = (cursor + len).min(leaf_span);
+            ranges.push((cursor, end));
+            cursor = end + 1 + rng.below(16);
+        }
+        if ranges.is_empty() {
+            ranges.push((0, leaf_span)); // tiny level: fall back to the full span
+        }
+
+        let slices = slice_ranges_by_owner(&ranges, clustering_level, leaf_level, &ids);
+
+        // Every slice belongs to the rendezvous owner of every clustering
+        // cell it spans.
+        for (owner, slice) in &slices {
+            prop_assert!(ids.contains(owner));
+            for &(start, end) in slice {
+                prop_assert!(start < end, "empty slice range");
+                for cell in (start >> shift)..=((end - 1) >> shift) {
+                    prop_assert_eq!(
+                        rendezvous_owner(cell, &ids), *owner,
+                        "slice [{}, {}) spans cell {} owned elsewhere", start, end, cell
+                    );
+                }
+            }
+        }
+
+        // Exact partition: flattening every owner's slices and re-merging
+        // adjacency reproduces the input ranges — no leaf index dropped,
+        // duplicated, or moved.
+        let mut flat: Vec<(u64, u64)> = slices.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        flat.sort_unstable();
+        for pair in flat.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlapping slices: {:?}", pair);
+        }
+        let mut rebuilt: Vec<(u64, u64)> = Vec::new();
+        for (start, end) in flat {
+            match rebuilt.last_mut() {
+                Some((_, e)) if *e == start => *e = end,
+                _ => rebuilt.push((start, end)),
+            }
+        }
+        prop_assert_eq!(rebuilt, ranges, "slices do not rebuild the input range set");
     }
 
     #[test]
