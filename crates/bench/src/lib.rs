@@ -134,7 +134,16 @@ fn truncate(s: &str, n: usize) -> &str {
 }
 
 /// `bench_results/` at the workspace root (falls back to CWD).
+///
+/// `MOIST_BENCH_RESULTS_DIR` overrides the location entirely — CI uses it
+/// to write the extra median-of-3 smoke runs of the interleaving-sensitive
+/// figures into scratch directories instead of clobbering the main run.
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MOIST_BENCH_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     // CARGO_MANIFEST_DIR = crates/bench → workspace root is two levels up.
     match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => PathBuf::from(dir)

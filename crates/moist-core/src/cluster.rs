@@ -270,20 +270,221 @@ pub fn rendezvous_owner(key: u64, members: &[u64]) -> u64 {
     rendezvous_max(key, members.iter().copied(), |&m| m).expect("rendezvous over empty membership")
 }
 
+/// One member of a weighted membership: a stable shard id plus its
+/// placement weight (relative capacity — the load-signal layer derives it
+/// from measured utilization; see
+/// [`crate::cluster_tier::MoistCluster::rebalance`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardWeight {
+    /// Stable shard id.
+    pub id: u64,
+    /// Relative capacity; non-finite or non-positive weights are clamped
+    /// to a small floor so a misconfigured shard still owns *something*
+    /// (total loss of ownership would orphan its in-flight state).
+    pub weight: f64,
+}
+
+impl ShardWeight {
+    /// A unit-weight member (the unweighted-rendezvous behaviour).
+    pub fn unit(id: u64) -> Self {
+        ShardWeight { id, weight: 1.0 }
+    }
+}
+
+/// Weighted rendezvous owner of `key`: log-weight (highest-random-weight
+/// with weights) selection, `score(m) = w_m / (−ln u_m)` where `u_m ∈
+/// (0,1)` is the member's hashed draw for this key. The member with the
+/// largest score wins.
+///
+/// Properties (property-tested in `moist-core/tests/rendezvous_props.rs`):
+///
+/// * **proportional share** — each member owns a fraction of the key
+///   space proportional to `w_m / Σw` (within hash noise);
+/// * **minimal remap under weight change** — raising one member's weight
+///   only moves keys *to* it, lowering it only moves keys *away* from it
+///   (the other members' scores are untouched);
+/// * **equal weights ⇒ plain rendezvous** — with all weights equal the
+///   winner is exactly [`rendezvous_owner`]'s (the score is monotone in
+///   the hashed draw, and ties fall back to the raw 64-bit weight), so
+///   the unweighted API is the `w ≡ 1` special case, not a second hash.
+///
+/// Panics if `members` is empty.
+pub fn weighted_rendezvous_owner(key: u64, members: &[ShardWeight]) -> u64 {
+    weighted_rendezvous_max(key, members.iter(), |m| m.id, |m| m.weight)
+        .map(|m| m.id)
+        .expect("rendezvous over empty membership")
+}
+
+/// The weight floor substituted for non-finite / non-positive weights.
+const MIN_SHARD_WEIGHT: f64 = 1e-6;
+
 /// The rendezvous winner of `key` among `members`, each identified by
-/// `id_of`. The single definition of winner selection — [`rendezvous_owner`]
-/// and the cluster tier's entry-based hot routing path both go through it,
-/// so routing and scheduler ownership can never disagree on a tie-break or
+/// `id_of` and weighted by `weight_of`. The single definition of winner
+/// selection — [`rendezvous_owner`], [`weighted_rendezvous_owner`] and the
+/// cluster tier's entry-based hot routing path all go through it, so
+/// routing and scheduler ownership can never disagree on a tie-break or
 /// weight change.
+pub(crate) fn weighted_rendezvous_max<T>(
+    key: u64,
+    members: impl Iterator<Item = T>,
+    id_of: impl Fn(&T) -> u64,
+    weight_of: impl Fn(&T) -> f64,
+) -> Option<T> {
+    let mut best: Option<(f64, u64, u64, T)> = None;
+    for m in members {
+        let id = id_of(&m);
+        let h = rendezvous_weight(key, id);
+        // Map the top 53 bits into (0,1): never 0 or 1, so ln is finite.
+        let u = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let w = {
+            let w = weight_of(&m);
+            if w.is_finite() && w > 0.0 {
+                w.max(MIN_SHARD_WEIGHT)
+            } else {
+                MIN_SHARD_WEIGHT
+            }
+        };
+        let score = w / -u.ln();
+        let better = match &best {
+            None => true,
+            // Tie-break: raw 64-bit draw (restores the unweighted
+            // ordering when equal weights collapse scores), then the
+            // smaller id.
+            Some((bs, bh, bid, _)) => {
+                score > *bs || (score == *bs && (h > *bh || (h == *bh && id < *bid)))
+            }
+        };
+        if better {
+            best = Some((score, h, id, m));
+        }
+    }
+    best.map(|(_, _, _, m)| m)
+}
+
+/// The unweighted rendezvous winner — [`weighted_rendezvous_max`] with
+/// every weight 1 (bit-identical winners; see there).
 pub(crate) fn rendezvous_max<T>(
     key: u64,
     members: impl Iterator<Item = T>,
     id_of: impl Fn(&T) -> u64,
 ) -> Option<T> {
-    members.max_by_key(|m| {
-        let id = id_of(m);
-        (rendezvous_weight(key, id), Reverse(id))
-    })
+    weighted_rendezvous_max(key, members, id_of, |_| 1.0)
+}
+
+/// Tag bit marking a routing key as a *child* cell one level finer than
+/// the clustering level (set by [`SplitTable::route_leaf`] for split
+/// cells). Cell indexes use at most `2·leaf_level ≤ 62` bits, so the top
+/// bit is free.
+pub const SPLIT_CHILD_TAG: u64 = 1 << 63;
+
+/// Decodes a routing key into the concrete cell it names: plain keys are
+/// cells at `clustering_level`, tagged keys ([`SPLIT_CHILD_TAG`]) are
+/// child cells one level finer.
+pub fn routing_key_cell(key: u64, clustering_level: u8) -> CellId {
+    if key & SPLIT_CHILD_TAG != 0 {
+        CellId {
+            level: clustering_level + 1,
+            index: key & !SPLIT_CHILD_TAG,
+        }
+    } else {
+        CellId {
+            level: clustering_level,
+            index: key,
+        }
+    }
+}
+
+/// The set of clustering cells whose ownership is split one level finer.
+///
+/// Placement normally hashes whole clustering cells to shards; a
+/// business-center cell hot enough to pin a shard on its own cannot be
+/// fixed by any whole-cell assignment. The split table is consulted
+/// *before* rendezvous: a split cell routes by its four child cells (one
+/// level finer), each hashed independently, so the hot cell's load spreads
+/// across up to four shards. Updates still serialize per routing key on
+/// one owner, and each child is lazily clustered by its owner as its own
+/// (smaller) cell — the clustering-vs-cross-cell-move races this could
+/// surface are the same class the promotion-time healing and query-time
+/// dedup already cover for ordinary cell-boundary crossings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitTable {
+    cells: std::collections::BTreeSet<u64>,
+}
+
+impl SplitTable {
+    /// An empty table (no cell split — the pre-load-aware behaviour).
+    pub fn new() -> Self {
+        SplitTable::default()
+    }
+
+    /// Whether clustering cell `cell` is split.
+    pub fn is_split(&self, cell: u64) -> bool {
+        self.cells.contains(&cell)
+    }
+
+    /// Marks `cell` as split. Returns `false` if it already was.
+    pub fn split(&mut self, cell: u64) -> bool {
+        self.cells.insert(cell)
+    }
+
+    /// The split cells, ascending.
+    pub fn cells(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// Number of split cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is split.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The four routing keys of a split cell's children.
+    pub fn child_keys(cell: u64) -> [u64; 4] {
+        [
+            SPLIT_CHILD_TAG | (cell << 2),
+            SPLIT_CHILD_TAG | ((cell << 2) + 1),
+            SPLIT_CHILD_TAG | ((cell << 2) + 2),
+            SPLIT_CHILD_TAG | ((cell << 2) + 3),
+        ]
+    }
+
+    /// The routing key of leaf index `leaf`: the containing clustering
+    /// cell, or — when that cell is split — the containing child cell
+    /// tagged with [`SPLIT_CHILD_TAG`]. Panics if `clustering_level >
+    /// leaf_level` (rejected by config validation) or a split cell has no
+    /// finer level to split into.
+    pub fn route_leaf(&self, leaf: u64, clustering_level: u8, leaf_level: u8) -> u64 {
+        let cell = leaf >> (2 * (leaf_level - clustering_level) as u64);
+        if self.is_split(cell) {
+            assert!(
+                clustering_level < leaf_level,
+                "cannot split below the leaf level"
+            );
+            SPLIT_CHILD_TAG | (leaf >> (2 * (leaf_level - clustering_level - 1) as u64))
+        } else {
+            cell
+        }
+    }
+
+    /// Every routing key of the clustering level under this table: each
+    /// unsplit cell once, each split cell as its four children. The keys
+    /// partition the level exactly (each leaf index maps to exactly one
+    /// key via [`route_leaf`]).
+    pub fn routing_keys(&self, clustering_level: u8) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for cell in 0..cells_at_level(clustering_level) {
+            if self.is_split(cell) {
+                keys.extend(Self::child_keys(cell));
+            } else {
+                keys.push(cell);
+            }
+        }
+        keys
+    }
 }
 
 /// Slices a region query's merged leaf-index ranges by rendezvous owner:
@@ -307,6 +508,30 @@ pub fn slice_ranges_by_owner(
     leaf_level: u8,
     members: &[u64],
 ) -> Vec<(u64, Vec<(u64, u64)>)> {
+    let weighted: Vec<ShardWeight> = members.iter().map(|&id| ShardWeight::unit(id)).collect();
+    slice_ranges_by_placement(
+        ranges,
+        clustering_level,
+        leaf_level,
+        &weighted,
+        &SplitTable::default(),
+    )
+}
+
+/// [`slice_ranges_by_owner`] under the full placement model: owners are
+/// the **weighted** rendezvous winners ([`weighted_rendezvous_owner`]) and
+/// cells in `splits` are cut one level finer, each child routed
+/// independently — exactly the routing the cluster tier applies to
+/// updates, so a scattered query's slices land on the shards that own the
+/// matching write traffic. Still an exact partition of the input (the
+/// property test covers this variant too).
+pub fn slice_ranges_by_placement(
+    ranges: &[(u64, u64)],
+    clustering_level: u8,
+    leaf_level: u8,
+    members: &[ShardWeight],
+    splits: &SplitTable,
+) -> Vec<(u64, Vec<(u64, u64)>)> {
     assert!(
         clustering_level <= leaf_level,
         "clustering level {clustering_level} finer than leaf level {leaf_level}"
@@ -318,8 +543,18 @@ pub fn slice_ranges_by_owner(
         let mut s = start;
         while s < end {
             let cell = s >> shift;
-            let e = end.min((cell + 1) << shift);
-            let slots = by_owner.entry(rendezvous_owner(cell, members)).or_default();
+            // Split cells cut at child boundaries so each child's piece
+            // can go to its own owner; unsplit cells cut as before.
+            let (key, e) = if shift >= 2 && splits.is_split(cell) {
+                let child_shift = shift - 2;
+                let child = s >> child_shift;
+                (SPLIT_CHILD_TAG | child, end.min((child + 1) << child_shift))
+            } else {
+                (cell, end.min((cell + 1) << shift))
+            };
+            let slots = by_owner
+                .entry(weighted_rendezvous_owner(key, members))
+                .or_default();
             match slots.last_mut() {
                 Some((_, le)) if *le == s => *le = e,
                 _ => slots.push((s, e)),
@@ -379,25 +614,54 @@ impl ClusterScheduler {
     /// it owns the clustering cells whose [`rendezvous_owner`] over `ids`
     /// is `member`.
     pub fn for_member(cfg: &MoistConfig, member: u64, ids: &[u64]) -> Self {
-        let n = cells_at_level(cfg.clustering_level);
-        Self::for_cells(cfg, (0..n).filter(|&i| rendezvous_owner(i, ids) == member))
+        let weighted: Vec<ShardWeight> = ids.iter().map(|&id| ShardWeight::unit(id)).collect();
+        Self::for_placement(cfg, member, &weighted, &SplitTable::default())
     }
 
-    /// Creates a scheduler owning exactly `cells` (indices at `cfg`'s
-    /// clustering level).
+    /// Creates the scheduler for member `member` under the full placement
+    /// model: it owns the routing keys (unsplit cells, plus children of
+    /// split cells) whose [`weighted_rendezvous_owner`] over `members` is
+    /// `member`. With unit weights and no splits this is exactly
+    /// [`for_member`](ClusterScheduler::for_member).
+    pub fn for_placement(
+        cfg: &MoistConfig,
+        member: u64,
+        members: &[ShardWeight],
+        splits: &SplitTable,
+    ) -> Self {
+        Self::for_cells(
+            cfg,
+            splits
+                .routing_keys(cfg.clustering_level)
+                .into_iter()
+                .filter(|&key| weighted_rendezvous_owner(key, members) == member),
+        )
+    }
+
+    /// Creates a scheduler owning exactly `cells` — routing keys at
+    /// `cfg`'s clustering level (plain cell indices, or
+    /// [`SPLIT_CHILD_TAG`]-tagged children of split cells).
     ///
     /// First deadlines are staggered by *global* cell index so cells do
     /// not all fire at once (the paper clusters cells sequentially for the
     /// same reason); the stagger is identical no matter how the level is
     /// split across shards, so handing a cell between owners never shifts
-    /// its phase.
+    /// its phase. A split cell's children share their parent's stagger
+    /// slot (they inherit its deadline phase on a live split too).
     pub fn for_cells(cfg: &MoistConfig, cells: impl IntoIterator<Item = u64>) -> Self {
         let n = cells_at_level(cfg.clustering_level);
         let interval_us = (cfg.cluster_interval_secs * 1e6) as u64;
         // 128-bit multiply before the divide: at fine levels `n` exceeds
         // `interval_us` and the naive `interval_us / n * i` truncates every
         // stagger to 0, re-creating the thundering herd.
-        let stagger = |i: u64| (interval_us as u128 * i as u128 / n.max(1) as u128) as u64;
+        let stagger = |key: u64| {
+            let i = if key & SPLIT_CHILD_TAG != 0 {
+                (key & !SPLIT_CHILD_TAG) >> 2
+            } else {
+                key
+            };
+            (interval_us as u128 * i as u128 / n.max(1) as u128) as u64
+        };
         let mut owned = HashSet::new();
         let heap = cells
             .into_iter()
@@ -490,7 +754,9 @@ impl ClusterScheduler {
     /// Each returned cell's next deadline is its missed one advanced by
     /// whole intervals until it is strictly in the future: the phase of the
     /// schedule is preserved without accumulating a catch-up backlog, and a
-    /// cell fires at most once per call.
+    /// cell fires at most once per call. Routing keys decode to concrete
+    /// cells here ([`routing_key_cell`]): a split cell's children come back
+    /// as cells one level finer, each clustered as its own smaller cell.
     pub fn due_cells(&mut self, now: Timestamp) -> Vec<CellId> {
         let now_us = now.0;
         let mut due = Vec::new();
@@ -499,10 +765,7 @@ impl ClusterScheduler {
                 break;
             }
             self.heap.pop();
-            due.push(CellId {
-                level: self.level,
-                index,
-            });
+            due.push(routing_key_cell(index, self.level));
             let missed = (now_us - due_us) / self.interval_us + 1;
             self.heap
                 .push(Reverse((due_us + missed * self.interval_us, index)));
@@ -760,6 +1023,160 @@ mod tests {
                 .count();
             assert!(won > 20, "member {m} won only {won}/256 cells");
         }
+    }
+
+    #[test]
+    fn equal_weights_reproduce_the_unweighted_owner() {
+        let ids = [3u64, 11, 42, 7, 900_001];
+        let weighted: Vec<ShardWeight> = ids.iter().map(|&id| ShardWeight::unit(id)).collect();
+        for key in 0..4096u64 {
+            assert_eq!(
+                rendezvous_owner(key, &ids),
+                weighted_rendezvous_owner(key, &weighted),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_members_win_proportionally_more_keys() {
+        let members = [
+            ShardWeight { id: 1, weight: 1.0 },
+            ShardWeight { id: 2, weight: 2.0 },
+            ShardWeight { id: 3, weight: 4.0 },
+        ];
+        let mut won = [0u64; 3];
+        let keys = 8192u64;
+        for key in 0..keys {
+            let owner = weighted_rendezvous_owner(key, &members);
+            won[members.iter().position(|m| m.id == owner).unwrap()] += 1;
+        }
+        // Expected shares 1/7, 2/7, 4/7 within generous hash noise.
+        for (i, m) in members.iter().enumerate() {
+            let expect = keys as f64 * m.weight / 7.0;
+            let got = won[i] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.25 + 32.0,
+                "member {} won {} keys, expected ≈{}",
+                m.id,
+                got,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_weights_are_floored_not_fatal() {
+        let members = [
+            ShardWeight {
+                id: 1,
+                weight: f64::NAN,
+            },
+            ShardWeight {
+                id: 2,
+                weight: -3.0,
+            },
+            ShardWeight { id: 3, weight: 1.0 },
+        ];
+        // Every key has a winner; the healthy member dominates.
+        let mut healthy = 0;
+        for key in 0..512u64 {
+            if weighted_rendezvous_owner(key, &members) == 3 {
+                healthy += 1;
+            }
+        }
+        assert!(healthy > 450, "floored weights must not win: {healthy}/512");
+    }
+
+    #[test]
+    fn split_table_routes_leaves_through_children() {
+        let (cl, ll) = (2u8, 5u8);
+        let mut splits = SplitTable::new();
+        assert!(splits.split(6));
+        assert!(!splits.split(6), "double split is a no-op");
+        // A leaf in an unsplit cell routes to the cell itself.
+        let leaf_unsplit = 3 << (2 * (ll - cl));
+        assert_eq!(splits.route_leaf(leaf_unsplit, cl, ll), 3);
+        // A leaf in the split cell routes to its tagged child.
+        let leaf_split = (6 << (2 * (ll - cl))) + 17;
+        let key = splits.route_leaf(leaf_split, cl, ll);
+        assert_ne!(key & SPLIT_CHILD_TAG, 0);
+        let child = routing_key_cell(key, cl);
+        assert_eq!(child.level, cl + 1);
+        assert_eq!(child.index >> 2, 6, "child must descend from cell 6");
+        // The routing keys partition the level: 15 unsplit + 4 children.
+        let keys = splits.routing_keys(cl);
+        assert_eq!(keys.len(), 15 + 4);
+        let mut covered = std::collections::HashSet::new();
+        for key in keys {
+            let cell = routing_key_cell(key, cl);
+            let (s, e) = cell.descendant_range(ll).unwrap();
+            for leaf in s..e {
+                assert!(covered.insert(leaf), "leaf {leaf} covered twice");
+                assert_eq!(splits.route_leaf(leaf, cl, ll), key);
+            }
+        }
+        assert_eq!(covered.len() as u64, 1 << (2 * ll));
+    }
+
+    #[test]
+    fn placement_slicing_cuts_split_cells_at_child_boundaries() {
+        let (cl, ll) = (1u8, 4u8);
+        let members = [
+            ShardWeight::unit(10),
+            ShardWeight::unit(20),
+            ShardWeight::unit(30),
+        ];
+        let mut splits = SplitTable::new();
+        splits.split(2);
+        let span = 1u64 << (2 * ll);
+        let slices = slice_ranges_by_placement(&[(0, span)], cl, ll, &members, &splits);
+        // Exact partition, and every piece inside cell 2 belongs to the
+        // weighted owner of its child key.
+        let mut flat: Vec<(u64, u64)> = Vec::new();
+        let child_shift = 2 * (ll - cl - 1) as u64;
+        for (owner, ranges) in &slices {
+            for &(s, e) in ranges {
+                flat.push((s, e));
+                let cell = s >> (2 * (ll - cl) as u64);
+                if cell == 2 {
+                    for child in (s >> child_shift)..=((e - 1) >> child_shift) {
+                        assert_eq!(
+                            weighted_rendezvous_owner(SPLIT_CHILD_TAG | child, &members),
+                            *owner
+                        );
+                    }
+                }
+            }
+        }
+        flat.sort_unstable();
+        let total: u64 = flat.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, span, "no leaf dropped or duplicated");
+    }
+
+    #[test]
+    fn schedulers_decode_split_children_to_finer_cells() {
+        let cfg = MoistConfig {
+            clustering_level: 2, // 16 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let mut splits = SplitTable::new();
+        splits.split(5);
+        let members = [ShardWeight::unit(0)];
+        let mut sched = ClusterScheduler::for_placement(&cfg, 0, &members, &splits);
+        assert_eq!(sched.owned_count(), 15 + 4);
+        let due = sched.due_cells(Timestamp::from_secs(100));
+        assert_eq!(due.len(), 15 + 4);
+        let fine: Vec<&CellId> = due.iter().filter(|c| c.level == 3).collect();
+        assert_eq!(fine.len(), 4, "the split cell fires as four children");
+        for c in fine {
+            assert_eq!(c.index >> 2, 5);
+        }
+        assert!(
+            due.iter().filter(|c| c.level == 2).all(|c| c.index != 5),
+            "the split parent itself never fires"
+        );
     }
 
     #[test]

@@ -76,6 +76,33 @@
 //! the freshest membership snapshot and hands back the pieces whose cells
 //! moved, which the gather loop re-slices and re-dispatches.
 //!
+//! ## Load-aware placement
+//!
+//! Placement is not static: every shard tracks per-clustering-cell EWMA
+//! demand rates ([`crate::load::LoadTracker`], fed by the update/query
+//! timestamps, so the signal is deterministic in virtual time), and
+//! [`rebalance`](MoistCluster::rebalance) folds the measurements into the
+//! membership snapshot through the same epoch/handover machinery joins
+//! and leaves use:
+//!
+//! * **weighted rendezvous** — per-shard weights derived from measured
+//!   utilization; a weight change remaps only keys toward/away from the
+//!   re-weighted shard ([`crate::cluster::weighted_rendezvous_owner`]);
+//! * **hot-cell splitting** — cells hot enough to pin a shard on their
+//!   own split ownership one level finer
+//!   ([`crate::cluster::SplitTable`], consulted before rendezvous), each
+//!   child routed, scheduled and clustered independently at its parent's
+//!   deadline phase;
+//! * **fan-out slice balancing** — scattered region plans subdivide
+//!   their costliest owner slices across idle shards
+//!   ([`crate::region::balance_slices`], priced by the measured per-cell
+//!   rates), so the client-visible latency tracks the mean slice, not
+//!   the largest ownership share.
+//!
+//! [`cluster_stats`](MoistCluster::cluster_stats) exposes the whole
+//! signal chain (per-shard utilization/rates/weights, scatter-slice
+//! timings, split table, migration counters) for operators and benches.
+//!
 //! [`add_shard`]: MoistCluster::add_shard
 //! [`remove_shard`]: MoistCluster::remove_shard
 //!
@@ -103,20 +130,25 @@
 //! # Ok::<(), moist_core::MoistError>(())
 //! ```
 
-use crate::cluster::{rendezvous_max, slice_ranges_by_owner, ClusterReport, ClusterScheduler};
+use crate::cluster::{
+    slice_ranges_by_placement, weighted_rendezvous_max, ClusterReport, ClusterScheduler,
+    ShardWeight, SplitTable,
+};
 use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
 use crate::nn::{merge_ring_partials, nn_candidate_ring};
 use crate::nn::{Neighbor, NnOptions, NnPartial, NnStats};
 use crate::query_pool::QueryPool;
-use crate::region::{merge_region_partials, plan_region_ranges, RegionPartial, RegionStats};
+use crate::region::{balance_slices, merge_region_partials, plan_region_ranges};
+use crate::region::{RegionPartial, RegionStats};
 use crate::server::{MoistServer, ServerStats};
 use crate::update::{UpdateMessage, UpdateOutcome};
 use moist_archive::PppArchiver;
 use moist_bigtable::{Bigtable, Timestamp};
 use moist_spatial::{cells_at_level, CellId, Point, Rect};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -125,6 +157,107 @@ use std::sync::Arc;
 /// correct on any shard (the store is shared); the cap only bounds the
 /// re-route loop under pathological non-stop churn.
 const MAX_REROUTE_ROUNDS: usize = 4;
+
+/// A cell whose merged EWMA demand rate exceeds this multiple of the mean
+/// cell rate is hot enough to split one level finer.
+const HOT_SPLIT_FACTOR: f64 = 4.0;
+
+/// Upper bound on the split table: splitting is for the handful of
+/// business-center cells, not a second level of hashing.
+const MAX_SPLIT_CELLS: usize = 16;
+
+/// Largest per-rebalance multiplicative weight step (up or down): placement
+/// converges over a few rebalances instead of slamming cells around on one
+/// noisy measurement.
+const REBALANCE_MAX_STEP: f64 = 2.0;
+
+/// Placement-weight clamp: a shard never owns less than ~1/8 or more than
+/// ~8× its fair share, however skewed the measurements get.
+const MIN_PLACEMENT_WEIGHT: f64 = 0.125;
+
+/// See [`MIN_PLACEMENT_WEIGHT`].
+const MAX_PLACEMENT_WEIGHT: f64 = 8.0;
+
+/// Cap on the relative demand density used to price scattered-region
+/// slices: above this the update rate says "hot" but (thanks to
+/// schooling) not "proportionally more rows to scan".
+const MAX_SCAN_DENSITY: f64 = 3.0;
+
+/// What one [`MoistCluster::rebalance`] step changed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebalanceReport {
+    /// The membership epoch after the step (unchanged if nothing moved).
+    pub epoch: u64,
+    /// Shards whose placement weight was adjusted.
+    pub reweighted: usize,
+    /// Clustering cells newly split one level finer.
+    pub split_cells: Vec<u64>,
+    /// Routing keys that changed owner (each handed over at its deadline
+    /// phase through the scheduler release/adopt path).
+    pub migrated_keys: u64,
+}
+
+/// One live shard's row in [`ClusterStats`]: the measured signals the
+/// load-aware placement runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLoadStats {
+    /// Stable shard id.
+    pub id: u64,
+    /// Current placement weight (relative capacity).
+    pub weight: f64,
+    /// Virtual µs of store time this shard has consumed.
+    pub elapsed_us: f64,
+    /// EWMA update arrivals per virtual second across the shard's cells.
+    pub update_rate: f64,
+    /// EWMA query arrivals per virtual second across the shard's cells.
+    pub query_rate: f64,
+    /// Routing keys (cells / split children) this shard's scheduler owns.
+    pub owned_keys: usize,
+    /// Scattered partial scans (region + NN slices) this shard served.
+    pub scatter_slices: u64,
+    /// Virtual µs spent serving those scattered slices.
+    pub scatter_slice_us: f64,
+}
+
+/// The tier-level load/placement rollup returned by
+/// [`MoistCluster::cluster_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Current membership epoch.
+    pub epoch: u64,
+    /// Per-shard signals, in position order.
+    pub shards: Vec<ShardLoadStats>,
+    /// Clustering cells currently split one level finer.
+    pub split_cells: Vec<u64>,
+    /// Cells migrated by join/leave epoch bumps.
+    pub epoch_migrations: u64,
+    /// Keys migrated by rebalance steps (weight shifts + cell splits).
+    pub split_migrations: u64,
+    /// Aggregate operation counters (live + retired shards).
+    pub ops: ServerStats,
+}
+
+impl ClusterStats {
+    /// Max-over-mean shard utilization (virtual elapsed time): 1.0 is a
+    /// perfectly level fleet; the `fig16_skew` acceptance bar is about
+    /// cutting this.
+    pub fn utilization_skew(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 1.0;
+        }
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.elapsed_us)
+            .fold(0.0f64, f64::max);
+        let mean = self.shards.iter().map(|s| s.elapsed_us).sum::<f64>() / self.shards.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
 
 /// One live shard: its stable id plus the mutexed server.
 struct ShardEntry {
@@ -137,12 +270,20 @@ struct ShardEntry {
 ///
 /// Operations route against one snapshot end to end; the `Arc`s keep a
 /// shard alive for in-flight operations even after it leaves the tier
-/// (its writes still land in the shared store, so nothing is lost).
+/// (its writes still land in the shared store, so nothing is lost). The
+/// snapshot carries the full **placement** state — per-shard weights and
+/// the hot-cell split table — so routing, slicing and scheduling within
+/// one epoch always agree.
 struct Membership {
-    /// Monotonic epoch, bumped by every join/leave.
+    /// Monotonic epoch, bumped by every join/leave/rebalance.
     epoch: u64,
     /// Live shards, sorted by id (positions index this order).
     shards: Vec<Arc<ShardEntry>>,
+    /// Placement weights, parallel to `shards` (relative capacity; 1.0
+    /// until a [`MoistCluster::rebalance`] derives measured ones).
+    weights: Vec<f64>,
+    /// Clustering cells whose ownership is split one level finer.
+    splits: Arc<SplitTable>,
 }
 
 impl Membership {
@@ -150,18 +291,44 @@ impl Membership {
         self.shards.iter().map(|e| e.id).collect()
     }
 
+    /// `(id, weight)` pairs in position order — the placement the
+    /// weighted rendezvous and the slice balancer consume.
+    fn placement(&self) -> Vec<ShardWeight> {
+        self.shards
+            .iter()
+            .zip(&self.weights)
+            .map(|(e, &weight)| ShardWeight { id: e.id, weight })
+            .collect()
+    }
+
     fn position_of(&self, id: u64) -> Option<usize> {
         self.shards.iter().position(|e| e.id == id)
     }
 
-    /// The entry owning clustering-cell index `key` (rendezvous winner).
+    /// The entry owning routing key `key` (weighted rendezvous winner).
     ///
     /// Picks the winner directly over the entries — one scan, no id-list
     /// allocation — because this sits on the per-operation hot path; the
-    /// selection is the shared [`rendezvous_max`], so it agrees with
-    /// [`crate::cluster::rendezvous_owner`] by definition.
+    /// selection is the shared [`weighted_rendezvous_max`], so it agrees
+    /// with [`crate::cluster::weighted_rendezvous_owner`] (and, at unit
+    /// weights, [`crate::cluster::rendezvous_owner`]) by definition.
     fn owner_of(&self, key: u64) -> &Arc<ShardEntry> {
-        rendezvous_max(key, self.shards.iter(), |e| e.id).expect("membership is never empty")
+        weighted_rendezvous_max(
+            key,
+            self.shards.iter().zip(&self.weights),
+            |(e, _)| e.id,
+            |(_, &w)| w,
+        )
+        .map(|(e, _)| e)
+        .expect("membership is never empty")
+    }
+
+    /// The routing key of the clustering cell containing leaf index
+    /// `leaf`: the cell itself, or its child one level finer when the
+    /// cell's ownership is split.
+    fn route_leaf(&self, leaf: u64, cfg: &MoistConfig) -> u64 {
+        self.splits
+            .route_leaf(leaf, cfg.clustering_level, cfg.space.leaf_level)
     }
 
     fn entry(&self, shard: usize) -> Result<&Arc<ShardEntry>> {
@@ -249,6 +416,20 @@ pub struct MoistCluster {
     /// never lands on a cell's *old* owner concurrently with the new
     /// owner clustering that cell.
     version: AtomicU64,
+    /// Cells migrated between shards by join/leave epoch bumps.
+    epoch_migrations: AtomicU64,
+    /// Cell migrations caused by hot-cell splits (children adopted by a
+    /// shard other than the parent's old owner) and by rebalance weight
+    /// shifts.
+    split_migrations: AtomicU64,
+    /// Per-shard virtual elapsed µs at the last rebalance — the baseline
+    /// the next rebalance diffs against to get utilization *since*.
+    rebalance_baseline: Mutex<HashMap<u64, f64>>,
+    /// Read-mostly per-clustering-cell demand density (relative rate,
+    /// mean ≈ 1), refreshed by [`rebalance`](MoistCluster::rebalance) and
+    /// consumed by the region fan-out to price slices — empty until the
+    /// first rebalance (every cell then prices by its leaf span alone).
+    cell_density: RwLock<Arc<HashMap<u64, f64>>>,
 }
 
 impl MoistCluster {
@@ -281,6 +462,8 @@ impl MoistCluster {
             store: Arc::clone(store),
             membership: Arc::new(RwLock::new(Arc::new(Membership {
                 epoch: 0,
+                weights: vec![1.0; entries.len()],
+                splits: Arc::new(SplitTable::default()),
                 shards: entries,
             }))),
             query_pool: QueryPool::sized_for_host(),
@@ -289,6 +472,10 @@ impl MoistCluster {
             archiver: None,
             next_shard_id: AtomicU64::new(shards as u64),
             version: AtomicU64::new(0),
+            epoch_migrations: AtomicU64::new(0),
+            split_migrations: AtomicU64::new(0),
+            rebalance_baseline: Mutex::new(HashMap::new()),
+            cell_density: RwLock::new(Arc::new(HashMap::new())),
         })
     }
 
@@ -370,38 +557,126 @@ impl MoistCluster {
         });
 
         let mut shards = old.shards.clone();
+        let mut weights = old.weights.clone();
         let pos = shards.partition_point(|e| e.id < id);
         shards.insert(pos, Arc::clone(&joiner));
+        // A joiner starts at the fleet's mean weight: unproven capacity
+        // gets an average share, and the next rebalance corrects it from
+        // measurement.
+        let mean = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
+        weights.insert(
+            pos,
+            if mean.is_finite() && mean > 0.0 {
+                mean
+            } else {
+                1.0
+            },
+        );
         let new = Membership {
             epoch: old.epoch + 1,
             shards,
+            weights,
+            splits: Arc::clone(&old.splits),
         };
 
         // Seqlock odd phase: updates started against the old snapshot
         // will re-validate and re-route rather than land on a cell whose
         // owner is mid-migration.
         self.version.fetch_add(1, Ordering::AcqRel);
-        // Migrate exactly the cells whose rendezvous winner changed. With
-        // rendezvous hashing those are precisely the joiner's wins, but
-        // the loop stays generic: release from the old winner, adopt on
-        // the new one, preserving each cell's deadline phase.
-        for cell in 0..cells_at_level(self.cfg.clustering_level) {
-            let old_owner = old.owner_of(cell);
-            let new_owner = new.owner_of(cell);
+        let migrated = self.migrate_ownership(&old, &new);
+        self.epoch_migrations.fetch_add(migrated, Ordering::Relaxed);
+        *guard = Arc::new(new);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        Ok(id)
+    }
+
+    /// Moves every routing key whose owner differs between `old` and
+    /// `new` from its old owner's scheduler to its new owner's,
+    /// preserving each key's deadline phase; cells split (or unsplit)
+    /// between the snapshots hand their phase down to (or up from) their
+    /// children. The single migration path shared by
+    /// [`add_shard`](MoistCluster::add_shard),
+    /// [`remove_shard`](MoistCluster::remove_shard) and
+    /// [`rebalance`](MoistCluster::rebalance) — callers hold the
+    /// membership write lock and the seqlock's odd phase. Returns the
+    /// number of keys that changed owner.
+    fn migrate_ownership(&self, old: &Membership, new: &Membership) -> u64 {
+        let mut migrated = 0u64;
+        // Moves one key if its owner changed; returns whether it did.
+        let move_key = |key: u64| -> bool {
+            let old_owner = old.owner_of(key);
+            let new_owner = new.owner_of(key);
             if old_owner.id == new_owner.id {
-                continue;
+                return false;
             }
             let due = old_owner
                 .server
                 .lock()
                 .scheduler_mut()
-                .release(cell)
-                .expect("old owner held the migrating cell");
-            new_owner.server.lock().scheduler_mut().adopt(cell, due);
+                .release(key)
+                .expect("old owner held the migrating key");
+            new_owner.server.lock().scheduler_mut().adopt(key, due);
+            true
+        };
+        for cell in 0..cells_at_level(self.cfg.clustering_level) {
+            match (old.splits.is_split(cell), new.splits.is_split(cell)) {
+                (false, false) => migrated += u64::from(move_key(cell)),
+                (true, true) => {
+                    for child in SplitTable::child_keys(cell) {
+                        migrated += u64::from(move_key(child));
+                    }
+                }
+                (false, true) => {
+                    // A fresh split: the parent's pending deadline carries
+                    // over to every child, so none of the four re-clusters
+                    // early or skips a round.
+                    let due = old
+                        .owner_of(cell)
+                        .server
+                        .lock()
+                        .scheduler_mut()
+                        .release(cell)
+                        .expect("old owner held the splitting cell");
+                    let old_id = old.owner_of(cell).id;
+                    for child in SplitTable::child_keys(cell) {
+                        let new_owner = new.owner_of(child);
+                        new_owner.server.lock().scheduler_mut().adopt(child, due);
+                        if new_owner.id != old_id {
+                            migrated += 1;
+                        }
+                    }
+                }
+                (true, false) => {
+                    // Un-split (not produced by today's rebalance policy,
+                    // but the handover stays total): the earliest child
+                    // deadline becomes the reunited cell's phase.
+                    let mut due = u64::MAX;
+                    for child in SplitTable::child_keys(cell) {
+                        if let Some(d) = old
+                            .owner_of(child)
+                            .server
+                            .lock()
+                            .scheduler_mut()
+                            .release(child)
+                        {
+                            due = due.min(d);
+                        }
+                    }
+                    let due = if due == u64::MAX {
+                        (self.cfg.cluster_interval_secs * 1e6) as u64
+                    } else {
+                        due
+                    };
+                    new.owner_of(cell)
+                        .server
+                        .lock()
+                        .scheduler_mut()
+                        .adopt(cell, due);
+                    migrated += 1;
+                }
+            }
         }
-        *guard = Arc::new(new);
-        self.version.fetch_add(1, Ordering::AcqRel);
-        Ok(id)
+        migrated
     }
 
     /// Removes the shard with stable id `id` from the tier.
@@ -433,24 +708,22 @@ impl MoistCluster {
         }
         let departed = Arc::clone(&old.shards[pos]);
         let mut shards = old.shards.clone();
+        let mut weights = old.weights.clone();
         shards.remove(pos);
+        weights.remove(pos);
         let new = Membership {
             epoch: old.epoch + 1,
             shards,
+            weights,
+            splits: Arc::clone(&old.splits),
         };
 
-        // Seqlock odd phase (see `add_shard`).
+        // Seqlock odd phase (see `add_shard`). The migration loop hands
+        // exactly the departed shard's keys (the only ones whose winner
+        // changes) to their new owners at their current deadline phase.
         self.version.fetch_add(1, Ordering::AcqRel);
-        // Hand every cell the departed shard owned to its new rendezvous
-        // winner, at the deadline phase it had on the departed shard.
-        let handoff = departed.server.lock().scheduler_mut().drain();
-        for (cell, due) in handoff {
-            new.owner_of(cell)
-                .server
-                .lock()
-                .scheduler_mut()
-                .adopt(cell, due);
-        }
+        let migrated = self.migrate_ownership(&old, &new);
+        self.epoch_migrations.fetch_add(migrated, Ordering::Relaxed);
         let mut retired = self.retired.lock();
         retired.entries.push(departed);
         retired.compact();
@@ -460,11 +733,218 @@ impl MoistCluster {
         Ok(())
     }
 
+    /// One load-aware placement step: derives per-shard weights from the
+    /// utilization measured since the previous rebalance and splits the
+    /// hottest clustering cells one level finer, then migrates exactly the
+    /// routing keys whose owner changed through the same epoch/handover
+    /// path joins and leaves use (deadline phases preserved, seqlock
+    /// protecting the update path).
+    ///
+    /// * **Weights** — a shard whose virtual elapsed time since the last
+    ///   rebalance sits above the fleet mean is over-utilized: its weight
+    ///   shrinks by the utilization ratio (per-step factor clamped, total
+    ///   weight clamped to `[1/8, 8]`, then normalized to mean 1), so the
+    ///   weighted rendezvous shifts whole cells away from it with minimal
+    ///   remap. Under-utilized shards symmetrically grow. A dead-band
+    ///   around the mean keeps a level fleet from oscillating.
+    /// * **Splits** — per-cell EWMA update rates (the load layer) merge
+    ///   across shards; cells whose rate exceeds [`HOT_SPLIT_FACTOR`]×
+    ///   the mean cell rate split one level finer (bounded by
+    ///   [`MAX_SPLIT_CELLS`]), so a single business-center cell stops
+    ///   pinning whichever shard owns it.
+    /// * **Density** — the merged per-cell rates also refresh the
+    ///   relative density map the region fan-out uses to price its
+    ///   balancing pass.
+    ///
+    /// Returns what changed; when nothing does (level fleet, no hot
+    /// cells) the membership — and its epoch — is left untouched.
+    pub fn rebalance(&self, now: Timestamp) -> RebalanceReport {
+        let mut guard = self.membership.write();
+        let old = Arc::clone(&guard);
+
+        // ---- measure: per-shard utilization + merged per-cell rates ----
+        let mut utils: Vec<f64> = Vec::with_capacity(old.shards.len());
+        let mut cell_rates: HashMap<u64, f64> = HashMap::new();
+        {
+            let mut baseline = self.rebalance_baseline.lock();
+            for entry in &old.shards {
+                let mut server = entry.server.lock();
+                let elapsed = server.elapsed_us();
+                for (cell, rates) in server.load_rates(now) {
+                    *cell_rates.entry(cell).or_insert(0.0) += rates.total();
+                }
+                let prev = baseline.insert(entry.id, elapsed).unwrap_or(0.0);
+                utils.push((elapsed - prev).max(0.0));
+            }
+        }
+
+        // ---- weights from utilization ----
+        let n = old.shards.len();
+        let mean_util = utils.iter().sum::<f64>() / n.max(1) as f64;
+        let mut weights = old.weights.clone();
+        let mut reweighted = 0usize;
+        if mean_util > 1.0 {
+            for (w, &util) in weights.iter_mut().zip(&utils) {
+                let ratio = util / mean_util;
+                // Dead-band: a ±20% wobble around the mean is noise.
+                let factor = if ratio > 1.2 {
+                    (1.0 / ratio).max(1.0 / REBALANCE_MAX_STEP)
+                } else if ratio < 0.8 {
+                    (1.0 / ratio.max(0.05)).min(REBALANCE_MAX_STEP)
+                } else {
+                    1.0
+                };
+                if factor != 1.0 {
+                    *w = (*w * factor).clamp(MIN_PLACEMENT_WEIGHT, MAX_PLACEMENT_WEIGHT);
+                    reweighted += 1;
+                }
+            }
+            // Normalize to mean 1 so weights stay comparable across
+            // epochs instead of drifting towards a clamp.
+            let sum: f64 = weights.iter().sum();
+            if sum > 0.0 {
+                let scale = n as f64 / sum;
+                for w in &mut weights {
+                    *w *= scale;
+                }
+            }
+        }
+
+        // ---- splits from per-cell rates ----
+        let mut splits = (*old.splits).clone();
+        let mut split_now: Vec<u64> = Vec::new();
+        if self.cfg.clustering_level < self.cfg.space.leaf_level {
+            let unsplit: Vec<(u64, f64)> = cell_rates
+                .iter()
+                .filter(|(cell, &rate)| rate > 0.0 && !splits.is_split(**cell))
+                .map(|(&cell, &rate)| (cell, rate))
+                .collect();
+            // Mean over the whole level, not just the loaded cells: "hot"
+            // means hot relative to the map, and a map where one cell has
+            // all the traffic is the textbook split case.
+            let mean_rate = cell_rates.values().sum::<f64>()
+                / cells_at_level(self.cfg.clustering_level).max(1) as f64;
+            if mean_rate > 0.0 {
+                let mut hot: Vec<(u64, f64)> = unsplit
+                    .into_iter()
+                    .filter(|&(_, rate)| rate >= HOT_SPLIT_FACTOR * mean_rate)
+                    .collect();
+                hot.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                for (cell, _) in hot {
+                    if splits.len() >= MAX_SPLIT_CELLS {
+                        break;
+                    }
+                    splits.split(cell);
+                    split_now.push(cell);
+                }
+            }
+        }
+
+        // ---- refresh the fan-out's density map ----
+        if !cell_rates.is_empty() {
+            let mean = cell_rates.values().sum::<f64>() / cell_rates.len() as f64;
+            if mean > 0.0 {
+                let density: HashMap<u64, f64> = cell_rates
+                    .iter()
+                    .map(|(&cell, &rate)| (cell, rate / mean))
+                    .collect();
+                *self.cell_density.write() = Arc::new(density);
+            }
+        }
+
+        let weights_changed = weights
+            .iter()
+            .zip(&old.weights)
+            .any(|(a, b)| (a - b).abs() > 1e-9);
+        if !weights_changed && split_now.is_empty() {
+            return RebalanceReport {
+                epoch: old.epoch,
+                reweighted: 0,
+                split_cells: Vec::new(),
+                migrated_keys: 0,
+            };
+        }
+
+        // ---- publish: one epoch bump through the shared handover path ----
+        let new = Membership {
+            epoch: old.epoch + 1,
+            shards: old.shards.clone(),
+            weights,
+            splits: Arc::new(splits),
+        };
+        self.version.fetch_add(1, Ordering::AcqRel);
+        let migrated = self.migrate_ownership(&old, &new);
+        self.split_migrations.fetch_add(migrated, Ordering::Relaxed);
+        *guard = Arc::new(new);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        RebalanceReport {
+            epoch: old.epoch + 1,
+            reweighted,
+            split_cells: split_now,
+            migrated_keys: migrated,
+        }
+    }
+
+    /// The clustering cells currently split one level finer.
+    pub fn split_cells(&self) -> Vec<u64> {
+        self.snapshot().splits.cells().collect()
+    }
+
+    /// The live shards' placement weights, in position order.
+    pub fn shard_weights(&self) -> Vec<f64> {
+        self.snapshot().weights.clone()
+    }
+
+    /// The tier's load/placement observability rollup: per-shard
+    /// utilization and demand rates, placement weights, owned-key counts,
+    /// scatter-slice service timings, the split table, and the migration
+    /// counters — everything [`rebalance`](MoistCluster::rebalance)
+    /// consumes, exposed so operators (and the `fig16_skew` bench) can see
+    /// what placement sees. `now` folds the EWMA windows before reading.
+    pub fn cluster_stats(&self, now: Timestamp) -> ClusterStats {
+        let snap = self.snapshot();
+        let shards = snap
+            .shards
+            .iter()
+            .zip(&snap.weights)
+            .map(|(entry, &weight)| {
+                let mut server = entry.server.lock();
+                let (update_rate, query_rate) = server.load_totals(now);
+                let (scatter_slices, scatter_slice_us) = server.scatter_slice_stats();
+                ShardLoadStats {
+                    id: entry.id,
+                    weight,
+                    elapsed_us: server.elapsed_us(),
+                    update_rate,
+                    query_rate,
+                    owned_keys: server.scheduler().owned_count(),
+                    scatter_slices,
+                    scatter_slice_us,
+                }
+            })
+            .collect();
+        ClusterStats {
+            epoch: snap.epoch,
+            shards,
+            split_cells: snap.splits.cells().collect(),
+            epoch_migrations: self.epoch_migrations.load(Ordering::Relaxed),
+            split_migrations: self.split_migrations.load(Ordering::Relaxed),
+            ops: self.stats(),
+        }
+    }
+
     /// The position (in current membership order) of the shard owning the
-    /// clustering cell containing `p`.
+    /// clustering cell (or, for a split cell, the child cell) containing
+    /// `p`.
     pub fn shard_for_point(&self, p: &Point) -> usize {
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, p);
-        self.owner_position(cell.index)
+        let leaf = self.cfg.space.leaf_cell(p).index;
+        let snap = self.snapshot();
+        let id = snap.owner_of(snap.route_leaf(leaf, &self.cfg)).id;
+        snap.position_of(id).expect("winner is live")
     }
 
     /// The position of the rendezvous winner for `key` in the current
@@ -476,18 +956,25 @@ impl MoistCluster {
     }
 
     /// The position of the shard owning clustering cell `cell` (coarser or
-    /// finer cells are mapped through their ancestor/descendant at the
-    /// clustering level).
+    /// finer cells are mapped through a representative leaf descendant,
+    /// so split-cell routing applies to them too).
     pub fn shard_for_cell(&self, cell: CellId) -> usize {
-        self.owner_position(self.clustering_index_of(cell))
+        let snap = self.snapshot();
+        let id = snap
+            .owner_of(snap.route_leaf(self.leaf_representative(cell), &self.cfg))
+            .id;
+        snap.position_of(id).expect("winner is live")
     }
 
-    /// `cell`'s ancestor/descendant index at the clustering level.
-    fn clustering_index_of(&self, cell: CellId) -> u64 {
-        if cell.level >= self.cfg.clustering_level {
-            cell.index >> (2 * (cell.level - self.cfg.clustering_level) as u64)
+    /// A representative leaf index inside `cell` (its first leaf
+    /// descendant; cells finer than the leaf level map through their
+    /// ancestor).
+    fn leaf_representative(&self, cell: CellId) -> u64 {
+        let leaf_level = self.cfg.space.leaf_level;
+        if cell.level <= leaf_level {
+            cell.index << (2 * (leaf_level - cell.level) as u64)
         } else {
-            cell.index << (2 * (self.cfg.clustering_level - cell.level) as u64)
+            cell.index >> (2 * (cell.level - leaf_level) as u64)
         }
     }
 
@@ -523,7 +1010,7 @@ impl MoistCluster {
     /// the validation deliberately (a stale-routed read still scans a
     /// consistent store).
     pub fn update(&self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &msg.loc);
+        let leaf = self.cfg.space.leaf_cell(&msg.loc).index;
         loop {
             let v1 = self.version.load(Ordering::Acquire);
             if v1 % 2 == 1 {
@@ -531,7 +1018,12 @@ impl MoistCluster {
                 std::thread::yield_now();
                 continue;
             }
-            let entry = self.owner_entry(cell.index);
+            // Routing key and owner come from the same snapshot, so the
+            // split table consulted is the one this epoch's owners were
+            // seeded from.
+            let snap = self.snapshot();
+            let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+            drop(snap);
             let mut server = entry.server.lock();
             if self.version.load(Ordering::Acquire) == v1 {
                 return server.update(msg);
@@ -553,8 +1045,10 @@ impl MoistCluster {
     /// plain Algorithm 2 answer. Rings on one shard skip the scatter
     /// entirely — the current anchor-routed path.
     pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
-        let anchor = self.owner_entry(cell.index);
+        let leaf = self.cfg.space.leaf_cell(&center).index;
+        let snap = self.snapshot();
+        let anchor = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        drop(snap);
         let level = { anchor.server.lock().flag_level(&center, at)? };
         self.nn_scatter(center, k, at, level, &anchor)
     }
@@ -572,7 +1066,7 @@ impl MoistCluster {
         let snap = self.snapshot();
         let mut by_owner: Vec<(Arc<ShardEntry>, Vec<CellId>)> = Vec::new();
         for &cell in &ring {
-            let owner = snap.owner_of(self.clustering_index_of(cell));
+            let owner = snap.owner_of(snap.route_leaf(self.leaf_representative(cell), &self.cfg));
             match by_owner.iter_mut().find(|(e, _)| e.id == owner.id) {
                 Some((_, cells)) => cells.push(cell),
                 None => by_owner.push((Arc::clone(owner), vec![cell])),
@@ -627,8 +1121,10 @@ impl MoistCluster {
         at: Timestamp,
         nn_level: u8,
     ) -> Result<(Vec<Neighbor>, NnStats)> {
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
-        let entry = self.owner_entry(cell.index);
+        let leaf = self.cfg.space.leaf_cell(&center).index;
+        let snap = self.snapshot();
+        let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        drop(snap);
         let mut server = entry.server.lock();
         server.nn_at_level(center, k, at, nn_level)
     }
@@ -665,12 +1161,58 @@ impl MoistCluster {
         let mut parts: Vec<RegionPartial> = Vec::new();
         let mut scanned_shards: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut cost_us = 0.0f64;
+        let mut rebalanced = 0usize;
         let mut round = 0usize;
         while !pending.is_empty() {
             round += 1;
             let revalidate = round < MAX_REROUTE_ROUNDS;
             let snap = self.snapshot();
-            let slices = slice_ranges_by_owner(&pending, clustering_level, leaf_level, &snap.ids());
+            let placement = snap.placement();
+            let slices = slice_ranges_by_placement(
+                &pending,
+                clustering_level,
+                leaf_level,
+                &placement,
+                &snap.splits,
+            );
+            // Balancing pass: the largest owner slices subdivide across
+            // idle shards (any shard can scan any range), priced by the
+            // load layer's per-cell demand so a short-but-hot range counts
+            // as expensive. The client then waits for the *mean*-ish
+            // slice, not the largest ownership share.
+            let density = self.cell_density.read().clone();
+            let shift = 2 * (leaf_level - clustering_level) as u64;
+            let cost_of = move |start: u64, end: u64| -> f64 {
+                let mut cost = 0.0;
+                let mut s = start;
+                while s < end {
+                    let cell = s >> shift;
+                    let e = end.min((cell + 1) << shift);
+                    let frac = (e - s) as f64 / (1u64 << shift) as f64;
+                    // The demand density is a *prior*, capped: schooling
+                    // collapses a hot cell's objects into few leader rows,
+                    // so update rate overstates scan cost — an uncapped
+                    // density would make the balancer dedicate shards to
+                    // cheap-to-scan hot cells and cram the real rows
+                    // together elsewhere.
+                    let d = density
+                        .get(&cell)
+                        .copied()
+                        .unwrap_or(0.0)
+                        .min(MAX_SCAN_DENSITY);
+                    cost += frac * (1.0 + d);
+                    s = e;
+                }
+                cost
+            };
+            // Scan capacity is uniform — any shard reads the shared store
+            // equally fast — so the balancer gets unit shares. Placement
+            // weights only shape *ownership* (update locality): a shard
+            // up-weighted because it was idle on updates may own half the
+            // map, and its slice is exactly what this pass subdivides.
+            let shares: Vec<(u64, f64)> = placement.iter().map(|w| (w.id, 1.0)).collect();
+            let (slices, moved) = balance_slices(slices, &shares, &cost_of);
+            rebalanced += moved;
             pending = Vec::new();
             let rect = *rect;
             let dispatch_epoch = snap.epoch;
@@ -687,18 +1229,24 @@ impl MoistCluster {
                             // (which hold the write lock while locking
                             // shards for the handoff). Same epoch — the
                             // common, churn-free case — means the dispatch
-                            // slicing is still exact: skip re-hashing.
+                            // slicing (including deliberate balancing
+                            // moves) is still current: skip re-hashing.
                             let now = membership.read().clone();
                             if now.epoch == dispatch_epoch {
                                 (ranges, Vec::new())
                             } else {
+                                // An epoch bump raced the scatter: hand
+                                // back everything this worker no longer
+                                // owns (balanced-in pieces included — the
+                                // gather re-balances them), keep the rest.
                                 let mut mine = Vec::new();
                                 let mut migrated = Vec::new();
-                                for (owner, slice) in slice_ranges_by_owner(
+                                for (owner, slice) in slice_ranges_by_placement(
                                     &ranges,
                                     clustering_level,
                                     leaf_level,
-                                    &now.ids(),
+                                    &now.placement(),
+                                    &now.splits,
                                 ) {
                                     if owner == entry.id {
                                         mine = slice;
@@ -737,6 +1285,7 @@ impl MoistCluster {
         let (hits, mut stats) = merge_region_partials(parts);
         stats.cost_us = cost_us;
         stats.shards_scattered = scanned_shards.len();
+        stats.slices_rebalanced = rebalanced;
         Ok((hits, stats))
     }
 
@@ -751,8 +1300,10 @@ impl MoistCluster {
         margin: f64,
     ) -> Result<(Vec<Neighbor>, RegionStats)> {
         let center = rect.center();
-        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
-        let entry = self.owner_entry(cell.index);
+        let leaf = self.cfg.space.leaf_cell(&center).index;
+        let snap = self.snapshot();
+        let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        drop(snap);
         let mut server = entry.server.lock();
         server.region(rect, at, margin)
     }
@@ -838,12 +1389,14 @@ impl MoistCluster {
     }
 
     /// Resets every live shard's session clock (benches do this after
-    /// warm-up).
+    /// warm-up) along with the rebalance utilization baseline, which is
+    /// measured against those clocks.
     pub fn reset_clocks(&self) {
         let snap = self.snapshot();
         for entry in &snap.shards {
             entry.server.lock().session_mut().reset();
         }
+        self.rebalance_baseline.lock().clear();
     }
 }
 
@@ -1205,6 +1758,193 @@ mod tests {
         // Every client query counts exactly once, whichever path (pure
         // scatter, scatter + fallback, or single-shard) served it.
         assert_eq!(cluster.stats().nn_queries - queries_before, total);
+    }
+
+    /// Asserts the live shards' schedulers own every routing key (unsplit
+    /// cells + children of split cells) exactly once, and that each key's
+    /// owner agrees with the tier's routing.
+    fn assert_routing_partition(cluster: &MoistCluster) {
+        let cfg = *cluster.config();
+        let split: std::collections::HashSet<u64> = cluster.split_cells().into_iter().collect();
+        let mut keys = Vec::new();
+        for cell in 0..cells_at_level(cfg.clustering_level) {
+            if split.contains(&cell) {
+                keys.extend(SplitTable::child_keys(cell));
+            } else {
+                keys.push(cell);
+            }
+        }
+        for key in keys {
+            let owners: Vec<usize> = (0..cluster.num_shards())
+                .filter(|&i| cluster.with_shard(i, |s| s.scheduler().owns(key)).unwrap())
+                .collect();
+            assert_eq!(owners.len(), 1, "key {key:#x} owners: {owners:?}");
+            let cell = crate::cluster::routing_key_cell(key, cfg.clustering_level);
+            assert_eq!(
+                cluster.shard_for_cell(cell),
+                owners[0],
+                "routing and scheduling disagree on key {key:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_splits_hot_cells_and_downweights_hot_shards() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 3, // 64 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        let hot = Point::new(437.0, 437.0);
+        let hot_cell = cfg.space.cell_at(cfg.clustering_level, &hot).index;
+        let hot_shard_before = cluster.shard_for_point(&hot);
+        // 80% of updates hammer one cell, the rest scatter; timestamps
+        // advance so the EWMA windows fold.
+        let mut oid = 0u64;
+        for sec in 0..40u64 {
+            for i in 0..25u64 {
+                let (x, y) = if i < 20 {
+                    (hot.x + (i % 5) as f64, hot.y + (i / 5) as f64)
+                } else {
+                    (
+                        31.0 + 211.0 * (oid % 4) as f64,
+                        31.0 + 311.0 * (oid % 3) as f64,
+                    )
+                };
+                cluster
+                    .update(&msg(oid % 600, x, y, 0.0, sec as f64 + i as f64 / 25.0))
+                    .unwrap();
+                oid += 1;
+            }
+        }
+        let before_skew = cluster
+            .cluster_stats(Timestamp::from_secs(40))
+            .utilization_skew();
+        let report = cluster.rebalance(Timestamp::from_secs(40));
+        assert_eq!(report.epoch, 1, "a skewed fleet must publish a new epoch");
+        assert!(
+            report.split_cells.contains(&hot_cell),
+            "the hot cell {hot_cell} must split: {report:?}"
+        );
+        assert!(report.migrated_keys > 0);
+        assert!(cluster.split_cells().contains(&hot_cell));
+        // The hot shard measured busiest: its weight must have dropped
+        // below the fleet mean (weights are normalized to mean 1).
+        let weights = cluster.shard_weights();
+        assert!(
+            weights[hot_shard_before] < 1.0,
+            "hot shard kept weight {weights:?}"
+        );
+        // Ownership is still an exact partition of the routing keys, and
+        // the stats layer exposes what moved.
+        assert_routing_partition(&cluster);
+        let stats = cluster.cluster_stats(Timestamp::from_secs(40));
+        assert_eq!(stats.split_cells, cluster.split_cells());
+        assert_eq!(stats.split_migrations, report.migrated_keys);
+        assert!(stats.shards.iter().any(|s| s.update_rate > 0.0));
+        let _ = before_skew; // skew improvement is pinned by fig16_skew
+                             // The tier still answers exactly: every object is found where a
+                             // fresh single-server oracle finds it.
+        let mut oracle = MoistServer::new(&store, cfg).unwrap();
+        for probe in [hot, Point::new(100.0, 500.0), Point::new(900.0, 80.0)] {
+            let (got, _) = cluster.nn(probe, 5, Timestamp::from_secs(40)).unwrap();
+            let level = oracle.flag_level(&probe, Timestamp::from_secs(40)).unwrap();
+            let (want, _) = oracle
+                .nn_at_level(probe, 5, Timestamp::from_secs(40), level)
+                .unwrap();
+            let got_ids: Vec<u64> = got.iter().map(|n| n.oid.0).collect();
+            let want_ids: Vec<u64> = want.iter().map(|n| n.oid.0).collect();
+            assert_eq!(got_ids, want_ids, "probe {probe:?}");
+        }
+        // Updates keep landing after the rebalance, on the new owners.
+        let agg_before = cluster.stats().updates;
+        cluster
+            .update(&msg(9_999, hot.x, hot.y, 0.0, 41.0))
+            .unwrap();
+        assert_eq!(cluster.stats().updates, agg_before + 1);
+        // A follow-up rebalance on the (now quieter) fleet must keep the
+        // partition exact even if it moves more keys.
+        cluster.rebalance(Timestamp::from_secs(80));
+        assert_routing_partition(&cluster);
+    }
+
+    #[test]
+    fn rebalance_is_a_noop_on_a_level_fleet() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        // Perfectly uniform traffic over the whole map.
+        for sec in 0..30u64 {
+            for i in 0..64u64 {
+                let x = 8.0 + 984.0 * (i % 8) as f64 / 8.0;
+                let y = 8.0 + 984.0 * (i / 8) as f64 / 8.0;
+                cluster
+                    .update(&msg(i, x, y, 0.0, sec as f64 + i as f64 / 64.0))
+                    .unwrap();
+            }
+        }
+        let report = cluster.rebalance(Timestamp::from_secs(30));
+        assert!(
+            report.split_cells.is_empty(),
+            "uniform load must not split: {report:?}"
+        );
+        assert!(cluster.split_cells().is_empty());
+        assert_routing_partition(&cluster);
+        // Epoch may bump only if utilization genuinely wobbled past the
+        // dead-band; either way no key may be double-owned and weights
+        // stay within the clamp.
+        for w in cluster.shard_weights() {
+            assert!((0.1..=8.0).contains(&w), "weight {w} out of bounds");
+        }
+    }
+
+    #[test]
+    fn split_cell_updates_route_to_child_owners_and_cluster_once() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 2, // 16 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        let hot = Point::new(300.0, 300.0);
+        let hot_cell = cfg.space.cell_at(cfg.clustering_level, &hot).index;
+        for sec in 0..40u64 {
+            for i in 0..10u64 {
+                cluster
+                    .update(&msg(
+                        i,
+                        hot.x + (i % 3) as f64 * 80.0,
+                        hot.y + (i / 3) as f64 * 60.0,
+                        0.0,
+                        sec as f64 + i as f64 / 10.0,
+                    ))
+                    .unwrap();
+            }
+        }
+        let report = cluster.rebalance(Timestamp::from_secs(40));
+        assert!(
+            report.split_cells.contains(&hot_cell),
+            "the only loaded cell must split: {report:?}"
+        );
+        assert_routing_partition(&cluster);
+        // A sweep past every deadline clusters each routing key exactly
+        // once: unsplit cells as whole cells, the split cell as its four
+        // finer children, each on its own owner.
+        let key_count = cells_at_level(cfg.clustering_level) - 1 + 4;
+        let runs_before = cluster.stats().cluster_runs;
+        let sweep_at = Timestamp::from_secs(40 + 2 * cfg.cluster_interval_secs as u64);
+        for shard in 0..cluster.num_shards() {
+            cluster.run_due_clustering_shard(shard, sweep_at).unwrap();
+        }
+        assert_eq!(cluster.stats().cluster_runs - runs_before, key_count);
     }
 
     #[test]

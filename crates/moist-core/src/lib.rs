@@ -48,6 +48,7 @@ pub mod error;
 pub mod flag;
 pub mod hexgrid;
 pub mod ids;
+pub mod load;
 pub mod nn;
 pub mod query_pool;
 pub mod region;
@@ -57,24 +58,26 @@ pub mod tables;
 pub mod update;
 
 pub use cluster::{
-    cluster_cell, cluster_sweep, rendezvous_owner, slice_ranges_by_owner, ClusterReport,
-    ClusterScheduler,
+    cluster_cell, cluster_sweep, rendezvous_owner, routing_key_cell, slice_ranges_by_owner,
+    slice_ranges_by_placement, weighted_rendezvous_owner, ClusterReport, ClusterScheduler,
+    ShardWeight, SplitTable, SPLIT_CHILD_TAG,
 };
-pub use cluster_tier::MoistCluster;
+pub use cluster_tier::{ClusterStats, MoistCluster, RebalanceReport, ShardLoadStats};
 pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};
 pub use error::{MoistError, Result};
 pub use flag::{FlagStats, FlagTuner};
 pub use hexgrid::{HexBin, HexGrid};
 pub use ids::ObjectId;
+pub use load::{CellRates, LoadTracker};
 pub use nn::{
     merge_ring_partials, nn_candidate_ring, nn_partial_scan, nn_query, Neighbor, NnCandidate,
     NnOptions, NnPartial, NnStats,
 };
 pub use query_pool::QueryPool;
 pub use region::{
-    merge_region_partials, plan_region_ranges, region_partial_scan, region_query, RegionPartial,
-    RegionStats,
+    balance_slices, merge_region_partials, plan_region_ranges, region_partial_scan, region_query,
+    RegionPartial, RegionStats,
 };
 pub use school::{estimated_location, within_school};
 pub use server::{MoistServer, ServerStats};

@@ -26,6 +26,15 @@ use crate::tables::MoistTables;
 use moist_bigtable::{Session, Timestamp};
 use moist_spatial::{cover_rect, Rect};
 
+/// One `[start, end)` leaf-index range.
+pub type LeafRange = (u64, u64);
+
+/// Owner-keyed slices of a scattered region plan: `(shard id, that
+/// shard's merged leaf ranges)` pairs, as produced by
+/// [`crate::cluster::slice_ranges_by_owner`] and rebalanced by
+/// [`balance_slices`].
+pub type OwnerSlices = Vec<(u64, Vec<LeafRange>)>;
+
 /// Statistics of one region query.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RegionStats {
@@ -35,6 +44,10 @@ pub struct RegionStats {
     pub leaders_fetched: usize,
     /// Shards that contributed partial scans (1 for single-server runs).
     pub shards_scattered: usize,
+    /// Range pieces the balancing pass moved off their owner shard onto an
+    /// idler one ([`balance_slices`]; 0 for single-server and unbalanced
+    /// runs).
+    pub slices_rebalanced: usize,
     /// Client-visible virtual µs. Partials scanned in parallel overlap, so
     /// a merged query reports the *slowest* partial, not the sum.
     pub cost_us: f64,
@@ -92,6 +105,194 @@ pub fn plan_region_ranges(cfg: &MoistConfig, rect: &Rect, margin: f64) -> Vec<(u
         }
     }
     ranges
+}
+
+/// Headroom each shard gets over its fair share before the balancer
+/// starts moving pieces: small imbalances are not worth the extra range
+/// fragmentation.
+const BALANCE_SLACK: f64 = 0.10;
+
+/// The smallest piece worth shedding or splitting off, in `cost_of`
+/// units (the cluster tier prices one average clustering cell at ~1.0):
+/// below this, per-range overhead on the receiving shard outweighs the
+/// makespan win.
+const MIN_PIECE_COST: f64 = 0.5;
+
+/// The largest slice must carry at least this much work before balancing
+/// engages at all — a small query stays on its owner, inline.
+const MIN_ENGAGE_COST: f64 = 2.0;
+
+/// Balances owner slices across the whole fleet: any shard can scan any
+/// range (the store is shared), so a scattered region's client-visible
+/// latency — its *slowest* slice — need not be pinned to the largest
+/// ownership share. Slices costing more than a shard's fair share are
+/// subdivided and the surplus pieces move to the shards with the most
+/// headroom (including shards that owned nothing in this query).
+///
+/// `shares` lists every eligible shard id with its relative capacity (the
+/// same weights the weighted rendezvous uses, so a deliberately
+/// down-weighted shard is not handed surplus work). `cost_of(start, end)`
+/// prices a leaf range; it must be additive over concatenation — the
+/// cluster tier prices ranges with the load layer's per-cell rates, so a
+/// hot business-center range counts as expensive even when it is short.
+///
+/// Returns the balanced `(shard id, ranges)` slices (ascending id, exact
+/// same leaf-index partition as the input) plus the number of pieces
+/// moved off their owner.
+pub fn balance_slices(
+    slices: OwnerSlices,
+    shares: &[(u64, f64)],
+    cost_of: impl Fn(u64, u64) -> f64,
+) -> (OwnerSlices, usize) {
+    if shares.len() <= 1 {
+        return (slices, 0);
+    }
+    let total_share: f64 = shares.iter().map(|&(_, w)| w.max(0.0)).sum();
+    let slice_costs: Vec<f64> = slices
+        .iter()
+        .map(|(_, rs)| rs.iter().map(|&(s, e)| cost_of(s, e)).sum())
+        .collect();
+    let total_cost: f64 = slice_costs.iter().sum();
+    if total_share <= 0.0 || total_cost <= 0.0 {
+        return (slices, 0);
+    }
+    // Engage only when it pays: the largest slice must dominate the fair
+    // per-shard share (otherwise the scatter is already level — idle
+    // shards count, they are capacity) and carry at least two cells'
+    // worth of work (fragmenting a tiny scan across the fleet costs more
+    // in per-range overhead than the overlap wins back).
+    let max_cost = slice_costs.iter().fold(0.0f64, |a, &b| a.max(b));
+    let fair_cost = total_cost / shares.len() as f64;
+    if max_cost < (1.0 + 2.0 * BALANCE_SLACK) * fair_cost || max_cost < MIN_ENGAGE_COST {
+        return (slices, 0);
+    }
+
+    // Per-shard targets and current loads (shards outside `shares` — a
+    // snapshot race — keep their slices and take no surplus).
+    let mut loads: std::collections::BTreeMap<u64, (f64, f64, Vec<LeafRange>)> = shares
+        .iter()
+        .map(|&(id, w)| (id, (total_cost * w.max(0.0) / total_share, 0.0, Vec::new())))
+        .collect();
+    let mut surplus: Vec<(f64, (u64, u64))> = Vec::new();
+    let mut kept_extra: OwnerSlices = Vec::new();
+    for (owner, ranges) in slices {
+        let Some((target, load, kept)) = loads.get_mut(&owner) else {
+            kept_extra.push((owner, ranges));
+            continue;
+        };
+        let cap = *target * (1.0 + BALANCE_SLACK);
+        // Largest pieces first, so the cheap tail stays put and surplus
+        // comes off in few, large, contiguous chunks.
+        let mut pieces: Vec<((u64, u64), f64)> =
+            ranges.into_iter().map(|r| (r, cost_of(r.0, r.1))).collect();
+        pieces.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for ((start, end), cost) in pieces {
+            // Keep pieces that fit, and overflows too small to be worth
+            // fragmenting off.
+            if *load + cost <= cap || cost <= 0.0 || *load + cost - cap < MIN_PIECE_COST {
+                *load += cost;
+                kept.push((start, end));
+                continue;
+            }
+            // This piece overflows the shard: keep a prefix that fills up
+            // to the cap (split at a leaf boundary by bisection on the
+            // additive cost), shed the rest.
+            let room = cap - *load;
+            let (keep, shed) = split_range_at_cost((start, end), room, &cost_of);
+            if let Some(r) = keep {
+                *load += cost_of(r.0, r.1);
+                kept.push(r);
+            }
+            if let Some(r) = shed {
+                surplus.push((cost_of(r.0, r.1), r));
+            }
+        }
+    }
+
+    // Hand surplus pieces, costliest first, to the shard with the most
+    // headroom (LPT greedy); oversized pieces split further so one chunk
+    // cannot recreate the imbalance on its new shard. Ascending sort +
+    // `pop()` = costliest first.
+    surplus.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut moved = 0usize;
+    while let Some((cost, range)) = surplus.pop() {
+        // The shard with the most headroom takes the next piece; ties
+        // break towards the smaller id for determinism.
+        let best_id = *loads
+            .iter()
+            .max_by(|(ia, (ta, la, _)), (ib, (tb, lb, _))| {
+                (ta - la)
+                    .partial_cmp(&(tb - lb))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| ib.cmp(ia))
+            })
+            .map(|(id, _)| id)
+            .expect("shares is non-empty");
+        let (target, load, kept) = loads.get_mut(&best_id).expect("best shard exists");
+        let headroom = (*target - *load).max(0.0);
+        if cost > headroom * (1.0 + BALANCE_SLACK)
+            && cost > 2.0 * MIN_PIECE_COST
+            && range.1 - range.0 > 1
+        {
+            // Still too big for the idlest shard: halve and retry both.
+            let mid = range.0 + (range.1 - range.0) / 2;
+            surplus.push((cost_of(range.0, mid), (range.0, mid)));
+            surplus.push((cost_of(mid, range.1), (mid, range.1)));
+            surplus.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            continue;
+        }
+        *load += cost;
+        kept.push(range);
+        moved += 1;
+    }
+
+    let mut out: OwnerSlices = loads
+        .into_iter()
+        .filter(|(_, (_, _, kept))| !kept.is_empty())
+        .map(|(id, (_, _, mut kept))| {
+            kept.sort_unstable();
+            // Re-merge adjacency so a shard still scans maximal ranges.
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(kept.len());
+            for (s, e) in kept {
+                match merged.last_mut() {
+                    Some((_, le)) if *le == s => *le = e,
+                    _ => merged.push((s, e)),
+                }
+            }
+            (id, merged)
+        })
+        .collect();
+    out.extend(kept_extra);
+    out.sort_by_key(|&(id, _)| id);
+    (out, moved)
+}
+
+/// Splits `range` at a leaf boundary so the left part costs at most
+/// `budget` (bisection over the additive `cost_of`). Either part may be
+/// empty (`None`): a zero budget sheds the whole range.
+fn split_range_at_cost(
+    range: LeafRange,
+    budget: f64,
+    cost_of: &impl Fn(u64, u64) -> f64,
+) -> (Option<LeafRange>, Option<LeafRange>) {
+    let (start, end) = range;
+    if budget <= 0.0 {
+        return (None, Some(range));
+    }
+    let (mut lo, mut hi) = (start, end);
+    // Largest cut with cost(start, cut) <= budget.
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if cost_of(start, mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let cut = lo;
+    let left = (cut > start).then_some((start, cut));
+    let right = (cut < end).then_some((cut, end));
+    (left, right)
 }
 
 /// Scans a pre-planned slice of a region query's leaf ranges: retrieves the
@@ -367,6 +568,158 @@ mod tests {
             region_query(&mut s, &t, &cfg, &rect, Timestamp::from_secs(1), true, 0.0).unwrap();
         assert!(hits.is_empty());
         assert_eq!(stats.leaders_fetched, 0);
+    }
+
+    /// Flattens balanced slices back into a sorted leaf-range list.
+    fn flatten(slices: &[(u64, Vec<(u64, u64)>)]) -> Vec<(u64, u64)> {
+        let mut flat: Vec<(u64, u64)> = slices
+            .iter()
+            .flat_map(|(_, rs)| rs.iter().copied())
+            .collect();
+        flat.sort_unstable();
+        flat
+    }
+
+    fn span_cost(s: u64, e: u64) -> f64 {
+        (e - s) as f64
+    }
+
+    #[test]
+    fn balance_subdivides_the_dominant_slice_across_idle_shards() {
+        // Shard 1 owns 80 cost units, shard 2 owns 10, shards 3 and 4 own
+        // nothing — the client-visible makespan is 80 without balancing.
+        let slices = vec![(1u64, vec![(0u64, 80u64)]), (2, vec![(100, 110)])];
+        let shares = vec![(1u64, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)];
+        let (balanced, moved) = balance_slices(slices, &shares, span_cost);
+        assert!(moved > 0, "the 80-cost slice must shed work");
+        // Exact partition is preserved.
+        let flat = flatten(&balanced);
+        let total: u64 = flat.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 90);
+        for pair in flat.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+        // The makespan drops towards the mean (90/4 = 22.5, +slack).
+        let max_load: f64 = balanced
+            .iter()
+            .map(|(_, rs)| rs.iter().map(|&(s, e)| span_cost(s, e)).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!(
+            max_load <= 90.0 / 4.0 * 1.35,
+            "makespan {max_load} still dominated by one shard"
+        );
+        // Previously idle shards now carry work.
+        let active = balanced.iter().filter(|(_, rs)| !rs.is_empty()).count();
+        assert!(
+            active >= 3,
+            "idle shards must pick up surplus: {balanced:?}"
+        );
+    }
+
+    #[test]
+    fn balance_leaves_level_or_tiny_scatters_alone() {
+        // Already level: nothing moves.
+        let level = vec![(1u64, vec![(0u64, 10u64)]), (2, vec![(10, 20)])];
+        let shares = vec![(1u64, 1.0), (2, 1.0)];
+        let (out, moved) = balance_slices(level.clone(), &shares, span_cost);
+        assert_eq!(moved, 0);
+        assert_eq!(out, level);
+        // A tiny single-owner query is not worth fragmenting.
+        let tiny = vec![(1u64, vec![(0u64, 1u64)])];
+        let shares = vec![(1u64, 1.0), (2, 1.0), (3, 1.0)];
+        let (out, moved) = balance_slices(tiny.clone(), &shares, |s, e| (e - s) as f64);
+        assert_eq!(moved, 0);
+        assert_eq!(out, tiny);
+        // Single-shard fleets trivially keep their slices.
+        let one = vec![(7u64, vec![(0u64, 50u64)])];
+        let (out, moved) = balance_slices(one.clone(), &[(7, 1.0)], span_cost);
+        assert_eq!(moved, 0);
+        assert_eq!(out, one);
+    }
+
+    #[test]
+    fn balance_respects_weighted_capacity_shares() {
+        // Shard 2 is down-weighted (placement decided it is overloaded):
+        // the balancer must hand it less surplus than the others.
+        let slices = vec![(1u64, vec![(0u64, 100u64)])];
+        let shares = vec![(1u64, 1.0), (2, 0.125), (3, 1.0)];
+        let (balanced, moved) = balance_slices(slices, &shares, span_cost);
+        assert!(moved > 0);
+        let load_of = |id: u64| -> f64 {
+            balanced
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, rs)| rs.iter().map(|&(s, e)| span_cost(s, e)).sum())
+                .unwrap_or(0.0)
+        };
+        assert!(
+            load_of(2) < load_of(3) / 2.0,
+            "down-weighted shard got {} vs {}",
+            load_of(2),
+            load_of(3)
+        );
+        let total: f64 = [1, 2, 3].iter().map(|&id| load_of(id)).sum();
+        assert!((total - 100.0).abs() < 1e-9, "work must be conserved");
+    }
+
+    #[test]
+    fn balance_assigns_surplus_costliest_first() {
+        // Surplus shape [5,1,1,1,1,1] over two idle shards of capacity 5:
+        // the LPT greedy (costliest first) reaches the optimal makespan 5;
+        // cheapest-first fills both shards with the 1s and then has to dump
+        // the indivisible 5-cost piece on top of one of them (makespan 7).
+        let cost =
+            |s: u64, e: u64| -> f64 { (s..e).map(|l| if l == 100 { 5.0 } else { 1.0 }).sum() };
+        let slices = vec![(
+            1u64,
+            vec![(100u64, 101u64), (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        )];
+        // Shard 1 is capacity-zero (drained), so every piece becomes
+        // surplus for the two idle shards.
+        let shares = vec![(1u64, 0.0), (2, 1.0), (3, 1.0)];
+        let (balanced, moved) = balance_slices(slices, &shares, cost);
+        assert_eq!(moved, 6, "every piece must move off the drained shard");
+        let max_load: f64 = balanced
+            .iter()
+            .map(|(_, rs)| rs.iter().map(|&(s, e)| cost(s, e)).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!(
+            max_load <= 5.5,
+            "costliest-first must reach the optimal makespan 5, got {max_load}: {balanced:?}"
+        );
+        let total: f64 = balanced
+            .iter()
+            .flat_map(|(_, rs)| rs.iter())
+            .map(|&(s, e)| cost(s, e))
+            .sum();
+        assert!((total - 10.0).abs() < 1e-9, "work must be conserved");
+    }
+
+    #[test]
+    fn balance_prices_slices_by_density_not_just_span() {
+        // Two equal-span slices, but shard 1's range is 9x denser: the
+        // balancer must shed from the *hot* slice even though spans match.
+        let density =
+            |s: u64, e: u64| -> f64 { (s..e).map(|leaf| if leaf < 10 { 9.0 } else { 1.0 }).sum() };
+        let slices = vec![(1u64, vec![(0u64, 10u64)]), (2, vec![(10, 20)])];
+        let shares = vec![(1u64, 1.0), (2, 1.0), (3, 1.0)];
+        let (balanced, moved) = balance_slices(slices, &shares, density);
+        assert!(moved > 0, "the dense slice must shed");
+        let hot_kept: f64 = balanced
+            .iter()
+            .find(|(id, _)| *id == 1)
+            .map(|(_, rs)| rs.iter().map(|&(s, e)| density(s, e)).sum())
+            .unwrap_or(0.0);
+        assert!(
+            hot_kept <= 100.0 / 3.0 * 1.35,
+            "shard 1 still holds {hot_kept} of 100 cost"
+        );
+        let total: f64 = balanced
+            .iter()
+            .flat_map(|(_, rs)| rs.iter())
+            .map(|&(s, e)| density(s, e))
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
     }
 
     #[test]

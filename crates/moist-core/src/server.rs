@@ -12,6 +12,7 @@ use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
 use crate::flag::{FlagStats, FlagTuner};
 use crate::ids::ObjectId;
+use crate::load::{CellRates, LoadTracker};
 use crate::nn::{nn_query, Neighbor, NnOptions, NnStats};
 use crate::school::estimated_location;
 use crate::tables::MoistTables;
@@ -93,6 +94,12 @@ pub struct MoistServer {
     object_estimate: Arc<AtomicU64>,
     /// Updates since the estimate was last re-seeded from the store.
     estimate_staleness: u64,
+    /// Per-clustering-cell EWMA demand rates (the load-signal layer the
+    /// cluster tier's weighted placement, hot-cell splitting and fan-out
+    /// balancing all consume), plus scatter-slice service counters. Lives
+    /// next to the FLAG machinery: FLAG estimates *density*, this tracks
+    /// *demand*.
+    load: LoadTracker,
 }
 
 /// Opens the MOIST tables, creating them only when genuinely missing.
@@ -131,6 +138,7 @@ impl MoistServer {
             stats: ServerStats::default(),
             object_estimate: Arc::new(AtomicU64::new(seed)),
             estimate_staleness: 0,
+            load: LoadTracker::default(),
             tables,
             cfg,
         })
@@ -215,6 +223,24 @@ impl MoistServer {
         &mut self.scheduler
     }
 
+    /// The per-clustering-cell EWMA demand rates as of `now` (ascending
+    /// cell order) — this server's slice of the load-signal layer.
+    pub fn load_rates(&mut self, now: Timestamp) -> Vec<(u64, CellRates)> {
+        self.load.rates(now)
+    }
+
+    /// Total `(update rate, query rate)` across this server's tracked
+    /// cells at `now`.
+    pub fn load_totals(&mut self, now: Timestamp) -> (f64, f64) {
+        self.load.totals(now)
+    }
+
+    /// `(count, virtual µs)` of scattered partial scans (region + NN
+    /// slices) this server has executed for the cluster tier's fan-out.
+    pub fn scatter_slice_stats(&self) -> (u64, f64) {
+        self.load.scatter_slice_stats()
+    }
+
     /// Current object-count estimate feeding FLAG's initial level guess.
     pub fn object_estimate(&self) -> u64 {
         self.object_estimate.load(Ordering::Relaxed)
@@ -237,6 +263,8 @@ impl MoistServer {
     pub fn update(&mut self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
         let outcome = apply_update(&mut self.session, &self.tables, &self.cfg, msg)?;
         self.stats.updates += 1;
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &msg.loc);
+        self.load.observe_update(cell.index, msg.ts);
         self.estimate_staleness += 1;
         if self.estimate_staleness >= ESTIMATE_REFRESH_OPS {
             self.refresh_object_estimate();
@@ -296,6 +324,8 @@ impl MoistServer {
     ) -> Result<(Vec<Neighbor>, NnStats)> {
         let out = nn_query(&mut self.session, &self.tables, &self.cfg, center, at, opts)?;
         self.stats.nn_queries += 1;
+        let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
+        self.load.observe_query(cell.index, at);
         Ok(out)
     }
 
@@ -332,6 +362,11 @@ impl MoistServer {
         at: Timestamp,
         margin: f64,
     ) -> Result<(Vec<Neighbor>, crate::region::RegionStats)> {
+        let cell = self
+            .cfg
+            .space
+            .cell_at(self.cfg.clustering_level, &rect.center());
+        self.load.observe_query(cell.index, at);
         crate::region::region_query(
             &mut self.session,
             &self.tables,
@@ -354,7 +389,16 @@ impl MoistServer {
         rect: &moist_spatial::Rect,
         at: Timestamp,
     ) -> Result<crate::region::RegionPartial> {
-        crate::region::region_partial_scan(&mut self.session, &self.tables, ranges, rect, at, true)
+        let part = crate::region::region_partial_scan(
+            &mut self.session,
+            &self.tables,
+            ranges,
+            rect,
+            at,
+            true,
+        )?;
+        self.load.note_scatter_slice(part.stats.cost_us);
+        Ok(part)
     }
 
     /// Counts one served NN query without running one — the cluster tier
@@ -378,7 +422,8 @@ impl MoistServer {
         at: Timestamp,
         opts: &NnOptions,
     ) -> Result<crate::nn::NnPartial> {
-        crate::nn::nn_partial_scan(
+        let cost0 = self.session.elapsed_us();
+        let part = crate::nn::nn_partial_scan(
             &mut self.session,
             &self.tables,
             &self.cfg,
@@ -386,7 +431,10 @@ impl MoistServer {
             center,
             at,
             opts,
-        )
+        )?;
+        self.load
+            .note_scatter_slice(self.session.elapsed_us() - cost0);
+        Ok(part)
     }
 
     /// Current position of one object: leaders from their latest record,

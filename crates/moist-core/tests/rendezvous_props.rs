@@ -11,8 +11,24 @@
 //! 4. **agreement** — [`ClusterScheduler::for_member`] slices form an
 //!    exact partition that agrees with [`rendezvous_owner`], so routing
 //!    and clustering can never disagree about a cell's home shard.
+//!
+//! The load-aware placement layer extends the contract (same suite):
+//!
+//! 5. **proportional share** — under [`weighted_rendezvous_owner`] each
+//!    member owns a key share proportional to its weight, within
+//!    statistical slack;
+//! 6. **weight-change minimality** — raising one member's weight only
+//!    moves keys *to* it, lowering it only moves keys *away* from it;
+//! 7. **split-table agreement** — with weights and hot-cell splits in
+//!    play, [`ClusterScheduler::for_placement`] slices still partition
+//!    the routing keys exactly and agree with the weighted owner of every
+//!    leaf's routing key, and [`slice_ranges_by_placement`] remains an
+//!    exact partition of any range set.
 
-use moist_core::{rendezvous_owner, slice_ranges_by_owner, ClusterScheduler, MoistConfig};
+use moist_core::{
+    rendezvous_owner, slice_ranges_by_owner, slice_ranges_by_placement, weighted_rendezvous_owner,
+    ClusterScheduler, MoistConfig, ShardWeight, SplitTable,
+};
 use proptest::prelude::*;
 
 /// A membership of 1–12 distinct shard ids drawn from a wide id space
@@ -173,6 +189,188 @@ proptest! {
             }
         }
         prop_assert_eq!(rebuilt, ranges, "slices do not rebuild the input range set");
+    }
+
+    #[test]
+    fn weighted_ownership_share_tracks_weight(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("weighted_share", seed);
+        let ids = membership(&mut rng, 6);
+        let weight_choices = [0.5, 1.0, 2.0, 4.0];
+        let members: Vec<ShardWeight> = ids
+            .iter()
+            .map(|&id| ShardWeight {
+                id,
+                weight: weight_choices[rng.below(weight_choices.len() as u64) as usize],
+            })
+            .collect();
+        let total_weight: f64 = members.iter().map(|m| m.weight).sum();
+        let keys = 4096u64;
+        let mut won = vec![0u64; members.len()];
+        for key in 0..keys {
+            let owner = weighted_rendezvous_owner(key, &members);
+            let pos = members.iter().position(|m| m.id == owner).unwrap();
+            won[pos] += 1;
+        }
+        for (pos, m) in members.iter().enumerate() {
+            let expect = keys as f64 * m.weight / total_weight;
+            let got = won[pos] as f64;
+            // Binomial-ish noise: half the expectation plus a flat floor
+            // covers the small-share members without hiding a broken
+            // weighting (which would be off by integer factors).
+            prop_assert!(
+                (got - expect).abs() <= expect * 0.5 + 48.0,
+                "member {} (w={}) won {} of {} keys, expected ≈{:.0}",
+                m.id, m.weight, got, keys, expect
+            );
+        }
+    }
+
+    #[test]
+    fn weight_change_remaps_only_toward_or_away_from_the_reweighted_shard(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("weight_change_remap", seed);
+        let ids = membership(&mut rng, 8);
+        let members: Vec<ShardWeight> = ids
+            .iter()
+            .map(|&id| ShardWeight {
+                id,
+                weight: 0.5 + rng.below(8) as f64 / 2.0,
+            })
+            .collect();
+        let target = members[rng.below(members.len() as u64) as usize].id;
+        let rescale = |factor: f64| -> Vec<ShardWeight> {
+            members
+                .iter()
+                .map(|m| ShardWeight {
+                    id: m.id,
+                    weight: if m.id == target { m.weight * factor } else { m.weight },
+                })
+                .collect()
+        };
+        let raised = rescale(2.0);
+        let lowered = rescale(0.5);
+        let mut toward = 0u64;
+        for key in 0..1024u64 {
+            let before = weighted_rendezvous_owner(key, &members);
+            let up = weighted_rendezvous_owner(key, &raised);
+            if up != before {
+                // An exact structural property: only the raised member's
+                // score changed, so keys can only move *to* it.
+                prop_assert_eq!(up, target, "key {} moved between bystanders", key);
+                toward += 1;
+            }
+            let down = weighted_rendezvous_owner(key, &lowered);
+            if down != before {
+                prop_assert_eq!(before, target, "key {} left an un-reweighted shard", key);
+                prop_assert!(down != target);
+            }
+        }
+        // Doubling a weight must actually attract keys (unless the member
+        // already owned essentially everything).
+        let owned_before = (0..1024u64)
+            .filter(|&k| weighted_rendezvous_owner(k, &members) == target)
+            .count();
+        prop_assert!(
+            toward > 0 || owned_before > 900,
+            "doubling member {}'s weight attracted nothing (owned {} before)",
+            target, owned_before
+        );
+    }
+
+    #[test]
+    fn split_table_routing_agrees_with_scheduler_partitioning(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("split_table_agreement", seed);
+        let ids = membership(&mut rng, 6);
+        let members: Vec<ShardWeight> = ids
+            .iter()
+            .map(|&id| ShardWeight {
+                id,
+                weight: 0.5 + rng.below(6) as f64 / 2.0,
+            })
+            .collect();
+        let cfg = MoistConfig {
+            clustering_level: 3, // 64 cells
+            ..MoistConfig::default()
+        };
+        let mut splits = SplitTable::new();
+        for _ in 0..(1 + rng.below(3)) {
+            splits.split(rng.below(64));
+        }
+
+        // The for_placement slices partition the routing keys exactly.
+        let scheds: Vec<ClusterScheduler> = ids
+            .iter()
+            .map(|&m| ClusterScheduler::for_placement(&cfg, m, &members, &splits))
+            .collect();
+        let keys = splits.routing_keys(cfg.clustering_level);
+        let total: usize = scheds.iter().map(|s| s.owned_count()).sum();
+        prop_assert_eq!(total, keys.len(), "schedulers must partition the routing keys");
+        for &key in &keys {
+            let winner = weighted_rendezvous_owner(key, &members);
+            for (pos, sched) in scheds.iter().enumerate() {
+                prop_assert_eq!(
+                    sched.owns(key),
+                    ids[pos] == winner,
+                    "routing key {:#x} ownership disagrees with routing", key
+                );
+            }
+        }
+
+        // Sampled leaves route to a key owned by exactly the shard that
+        // schedules it — update routing and clustering can never disagree,
+        // split cells included.
+        let leaf_level = cfg.space.leaf_level;
+        let leaf_span = 1u64 << (2 * leaf_level as u64);
+        for _ in 0..128 {
+            let leaf = rng.below(leaf_span);
+            let key = splits.route_leaf(leaf, cfg.clustering_level, leaf_level);
+            prop_assert!(keys.contains(&key));
+            let winner = weighted_rendezvous_owner(key, &members);
+            let pos = ids.iter().position(|&m| m == winner).unwrap();
+            prop_assert!(scheds[pos].owns(key), "leaf {} schedules elsewhere", leaf);
+        }
+
+        // slice_ranges_by_placement stays an exact partition with weights
+        // and splits in play.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = rng.below(1 << 8);
+        while cursor < leaf_span && ranges.len() < 16 {
+            let len = 1 + rng.below(leaf_span / 5);
+            let end = (cursor + len).min(leaf_span);
+            ranges.push((cursor, end));
+            cursor = end + 1 + rng.below(1 << 30);
+        }
+        if ranges.is_empty() {
+            ranges.push((0, leaf_span));
+        }
+        let slices = slice_ranges_by_placement(
+            &ranges,
+            cfg.clustering_level,
+            leaf_level,
+            &members,
+            &splits,
+        );
+        let mut flat: Vec<(u64, u64)> = slices.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        flat.sort_unstable();
+        for pair in flat.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlapping slices: {:?}", pair);
+        }
+        let mut rebuilt: Vec<(u64, u64)> = Vec::new();
+        for (start, end) in flat {
+            match rebuilt.last_mut() {
+                Some((_, e)) if *e == start => *e = end,
+                _ => rebuilt.push((start, end)),
+            }
+        }
+        prop_assert_eq!(rebuilt, ranges, "placement slices do not rebuild the input");
+        // And every slice's leaves route to its owner.
+        for (owner, slice) in &slices {
+            for &(start, end) in slice {
+                for leaf in [start, end - 1] {
+                    let key = splits.route_leaf(leaf, cfg.clustering_level, leaf_level);
+                    prop_assert_eq!(weighted_rendezvous_owner(key, &members), *owner);
+                }
+            }
+        }
     }
 
     #[test]

@@ -181,6 +181,134 @@ fn mid_run_shard_kill_is_absorbed_without_losing_updates_or_queries() {
     assert!(!nn.is_empty(), "queries must survive the failover");
 }
 
+/// Load-aware placement under failure: a hot-spot workload drives
+/// periodic [`MoistCluster::rebalance`] calls (weight shifts + hot-cell
+/// splits racing the update stream), and mid-run the shard owning the hot
+/// spot is killed while a rebalance storm is in flight. The contract is
+/// the same as the plain kill: zero lost updates, every routing key owned
+/// exactly once, queries answering on every tick.
+#[test]
+fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let hot = Point::new(437.0, 437.0);
+
+    let killed = AtomicBool::new(false);
+    let rebalances = AtomicU64::new(0);
+
+    let sent: Vec<u64> = ClientPool::run(WORKERS, |i| {
+        let oid_base = i as u64 * 1_000_000;
+        let mut count = 0u64;
+        let mut t = 0.0;
+        let mut step = 0u64;
+        while t < END_SECS {
+            t = (t + 5.0).min(END_SECS);
+            // 80% of this worker's updates hammer the hot spot, the rest
+            // scatter — the skew that makes rebalance split and reweight.
+            for j in 0..40u64 {
+                step += 1;
+                let oid = oid_base + step % 500;
+                let (x, y) = if j % 5 != 0 {
+                    (hot.x + (j % 7) as f64, hot.y + (j % 5) as f64)
+                } else {
+                    (
+                        20.0 + ((step * 131) % 960) as f64,
+                        20.0 + ((step * 197) % 960) as f64,
+                    )
+                };
+                cluster
+                    .update(&UpdateMessage {
+                        oid: ObjectId(oid),
+                        loc: Point::new(x, y),
+                        vel: moist::spatial::Velocity::ZERO,
+                        ts: Timestamp::from_secs_f64(t - 5.0 + 5.0 * j as f64 / 40.0),
+                    })
+                    .expect("updates must keep landing through rebalances and the kill");
+                count += 1;
+            }
+
+            // Worker 1 rebalances on every tick — epoch bumps, weight
+            // shifts and splits race everyone else's updates and queries.
+            if i == 1 {
+                let report = cluster.rebalance(Timestamp::from_secs_f64(t));
+                rebalances.fetch_add(u64::from(report.migrated_keys > 0), Ordering::Relaxed);
+            }
+
+            // Worker 0 kills whichever shard currently owns the hot spot,
+            // mid-run, while rebalances are in flight.
+            if i == 0
+                && t >= KILL_AT_SECS
+                && killed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                let victim_pos = cluster.shard_for_point(&hot);
+                let victim = cluster.shard_ids()[victim_pos];
+                cluster
+                    .remove_shard(victim)
+                    .expect("killing the hot shard must succeed");
+            }
+
+            let mut shard = i;
+            while shard < SHARDS {
+                match cluster.run_due_clustering_shard(shard, Timestamp::from_secs_f64(t)) {
+                    Ok(_) | Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("clustering tick failed: {e}"),
+                }
+                shard += WORKERS.min(SHARDS);
+            }
+
+            // Availability probes on every tick, centred on the hot spot
+            // (the cells most likely to be mid-migration).
+            let at = Timestamp::from_secs_f64(t);
+            cluster
+                .nn(hot, 3, at)
+                .expect("NN must answer through the rebalance churn");
+            cluster
+                .region(&Rect::new(350.0, 350.0, 550.0, 550.0), at, 0.0)
+                .expect("region must answer through the rebalance churn");
+        }
+        count
+    });
+    let sent: u64 = sent.iter().sum();
+
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "the hot shard must be killed"
+    );
+    assert_eq!(cluster.num_shards(), SHARDS - 1);
+    assert!(
+        rebalances.load(Ordering::Relaxed) > 0,
+        "the skewed stream must trigger real rebalance migrations"
+    );
+
+    // Every routing key — split children included — owned exactly once.
+    common::assert_routing_key_partition(&cluster);
+
+    // Zero lost updates, dead shard's share included.
+    let agg = cluster.stats();
+    assert_eq!(agg.updates, sent, "no update lost or double-counted");
+    assert!(agg.balanced(), "outcomes must sum to updates: {agg:?}");
+
+    // The split/migration bookkeeping is visible from the tier, and the
+    // whole map still answers.
+    let cstats = cluster.cluster_stats(Timestamp::from_secs_f64(END_SECS));
+    assert!(
+        cstats.split_migrations > 0,
+        "rebalance migrations must be counted: {cstats:?}"
+    );
+    assert!(cstats.epoch_migrations > 0, "the kill migrated cells");
+    let (nn, _) = cluster
+        .nn(
+            Point::new(500.0, 500.0),
+            50,
+            Timestamp::from_secs_f64(END_SECS),
+        )
+        .unwrap();
+    assert!(!nn.is_empty());
+}
+
 #[test]
 fn killing_and_rejoining_shards_repeatedly_keeps_the_partition_tight() {
     let store = Bigtable::new();
