@@ -21,7 +21,8 @@
 //! (e.g. a new shard count) — there is nothing to regress against.
 //!
 //! **De-noising.** The multi-threaded figures (fig14's `ClientPool`
-//! timelines, fig15's pooled scatters) wobble with thread interleaving —
+//! timelines, fig15's and fig16's pooled scatters) wobble with thread
+//! interleaving —
 //! ±9% observed on a loaded runner, uncomfortably close to a 15% gate.
 //! CI therefore re-runs those bins into scratch directories
 //! (`MOIST_BENCH_RESULTS_DIR`) and passes each as `--median-dir`: for

@@ -8,9 +8,14 @@
 //!    Info from the Affiliation Table;
 //! 2. **compute** — map each leader's velocity to a hexagonal bin (`O(1)`
 //!    each, `O(n)` total) and merge the leaders sharing a bin;
-//! 3. **write** — apply the merge as batched mutations: transfer Follower
-//!    Info, rewrite L/F entries of moved followers, delete merged leaders
-//!    from the Spatial Index Table.
+//! 3. **write** — commit each merged leader by atomically deleting its
+//!    Spatial Index row *guarded on the scanned value* (the store's
+//!    check-and-mutate), then apply the affiliation rewrites as batched
+//!    mutations: transfer Follower Info, rewrite L/F entries of moved
+//!    followers. A leader whose row changed since the scan (it updated or
+//!    moved concurrently on another shard) fails the guard and its merge
+//!    is aborted for this round — clustering never demotes a live leader
+//!    out from under a racing cross-cell move.
 //!
 //! The per-phase virtual latencies are reported so Figure 10's
 //! read/compute/write breakdown can be regenerated.
@@ -36,6 +41,9 @@ pub struct ClusterReport {
     pub post_leaders: usize,
     /// Leaders merged into other schools.
     pub merged: usize,
+    /// Merges aborted because the leader's spatial row changed between
+    /// the clustering scan and the guarded commit (a racing update won).
+    pub merge_aborts: usize,
     /// Followers whose affiliation was rewritten.
     pub followers_moved: usize,
     /// Virtual µs spent reading (Spatial Index + Affiliation batch reads).
@@ -57,6 +65,7 @@ impl ClusterReport {
         self.pre_leaders += other.pre_leaders;
         self.post_leaders += other.post_leaders;
         self.merged += other.merged;
+        self.merge_aborts += other.merge_aborts;
         self.followers_moved += other.followers_moved;
         self.read_us += other.read_us;
         self.compute_us += other.compute_us;
@@ -122,11 +131,25 @@ pub fn cluster_cell(
     report.compute_us = compute_wall_us;
 
     // ---- write phase ----
+    //
+    // Each absorbed leader commits through per-row guards rather than one
+    // blind batch, because a cross-cell move is applied by the
+    // *destination* cell's owner — a different shard, outside this cell's
+    // serialization:
+    //
+    // * the **commit point** is a check-and-mutate delete of j's spatial
+    //   row (fails ⇒ j moved since the scan ⇒ j's merge aborts whole);
+    //   the update path's cross-cell move deletes through the same guard
+    //   ([`MoistTables::spatial_move_guarded`]), so exactly one side wins
+    //   and an absorbed leader can never be resurrected;
+    // * each **follower re-affiliation** is a check-and-mutate on the
+    //   follower's L/F record (fails ⇒ the follower promoted since the
+    //   scan ⇒ it keeps its self-chosen affiliation and the school add is
+    //   compensated).
     let t1 = s.elapsed_us();
-    let mut affiliation_batch: Vec<RowMutation> = Vec::new();
-    let mut spatial_batch: Vec<RowMutation> = Vec::new();
     let mut merged_count = 0usize;
     let mut followers_moved = 0usize;
+    let mut aborted = 0usize;
     // Leaders' stored records carry different timestamps (each wrote at its
     // own last update); advance both to `now` under linear motion before
     // differencing, or displacements absorb up to v·Δt of skew.
@@ -135,33 +158,78 @@ pub fn cluster_cell(
         let survivor = &leaders[m.survivor];
         for &j in &m.absorbed {
             let absorbed = &leaders[j];
+            // (iii, hoisted) the commit point: atomically delete j from
+            // the Spatial Index Table iff its row still holds the scanned
+            // record. From here until j's L/F record flips below, j's own
+            // updates back off (their guarded move finds no row), so j's
+            // affiliation cannot change under us.
+            if !tables.spatial_check_and_delete(s, absorbed)? {
+                aborted += 1;
+                continue;
+            }
             // Displacement from the survivor to the absorbed leader at `now`.
             let lead_disp = pos_now(survivor).displacement_to(&pos_now(absorbed));
             // (ii) every follower of j re-affiliates to the survivor; its
-            // displacement composes: survivor → j → follower.
-            for &(f, d) in &follower_infos[j] {
+            // displacement composes: survivor → j → follower. Re-read the
+            // follower's record (not the scanned copy): one that departed
+            // since the scan is no longer ours to move.
+            for &(f, _) in &follower_infos[j] {
+                let (d, expected) = match tables.lf(s, f)? {
+                    Some(LfRecord::Follower {
+                        leader,
+                        displacement,
+                        since_us,
+                    }) if leader == absorbed.oid => (
+                        displacement,
+                        LfRecord::Follower {
+                            leader,
+                            displacement,
+                            since_us,
+                        },
+                    ),
+                    _ => continue, // departed (or re-led) since the scan
+                };
                 let nd = moist_spatial::Displacement::new(lead_disp.dx + d.dx, lead_disp.dy + d.dy);
-                affiliation_batch.push(MoistTables::lf_mutation(
+                // School row before pointer: once the guarded flip lands,
+                // f's very next update can depart and must find itself in
+                // the survivor's Follower Info to remove.
+                tables.add_follower(s, survivor.oid, f, nd, now)?;
+                let flipped = tables.lf_check_and_set(
+                    s,
                     f,
+                    &expected,
                     &LfRecord::Follower {
                         leader: survivor.oid,
                         displacement: nd,
                         since_us: now.0,
                     },
                     now,
-                ));
-                affiliation_batch.push(MoistTables::add_follower_mutation(
-                    survivor.oid,
-                    f,
-                    nd,
-                    now,
-                ));
-                followers_moved += 1;
+                )?;
+                if flipped {
+                    followers_moved += 1;
+                } else {
+                    // f promoted between the re-read and the guard: it
+                    // never saw the survivor, so un-add it.
+                    tables.remove_follower(s, survivor.oid, f)?;
+                }
             }
             // (i) j's Follower Info is cleared and j itself becomes a
-            // follower of the survivor.
-            affiliation_batch.push(MoistTables::clear_followers_mutation(absorbed.oid));
-            affiliation_batch.push(MoistTables::lf_mutation(
+            // follower of the survivor (school row first, pointer last —
+            // j's updates are backed off, see the commit point above).
+            // The pointer flip goes through `set_lf` so it lands at a
+            // superseding timestamp: this ticker's clock may trail j's
+            // own report clock, and a flip stamped behind j's Leader
+            // record would be shadowed — j would read itself a leader
+            // forever while sitting in the survivor's school.
+            tables.affiliation_batch(
+                s,
+                &coalesce_rows(vec![
+                    MoistTables::clear_followers_mutation(absorbed.oid),
+                    MoistTables::add_follower_mutation(survivor.oid, absorbed.oid, lead_disp, now),
+                ]),
+            )?;
+            tables.set_lf(
+                s,
                 absorbed.oid,
                 &LfRecord::Follower {
                     leader: survivor.oid,
@@ -169,24 +237,12 @@ pub fn cluster_cell(
                     since_us: now.0,
                 },
                 now,
-            ));
-            affiliation_batch.push(MoistTables::add_follower_mutation(
-                survivor.oid,
-                absorbed.oid,
-                lead_disp,
-                now,
-            ));
-            // (iii) delete j from the Spatial Index Table.
-            spatial_batch.push(MoistTables::spatial_delete_mutation(
-                absorbed.leaf_index,
-                absorbed.oid,
-            ));
+            )?;
             merged_count += 1;
         }
     }
-    tables.affiliation_batch(s, &coalesce_rows(affiliation_batch))?;
-    tables.spatial_batch(s, &spatial_batch)?;
     report.write_us = s.elapsed_us() - t1;
+    report.merge_aborts = aborted;
     report.merged = merged_count;
     report.followers_moved = followers_moved;
     report.post_leaders = report.pre_leaders - merged_count;
@@ -371,6 +427,82 @@ pub(crate) fn rendezvous_max<T>(
     weighted_rendezvous_max(key, members, id_of, |_| 1.0)
 }
 
+/// The rendezvous top-`k` of `key` among `members`, best first, under
+/// exactly [`weighted_rendezvous_max`]'s ordering (score, then raw draw,
+/// then smaller id). Since member ids are distinct that ordering is a
+/// strict total order, so the ranked list is well-defined and its first
+/// element is bit-identical to the single winner — `k = 1` reproduces
+/// [`weighted_rendezvous_owner`] exactly.
+///
+/// Rank is what makes HRW replica sets cheap: a member's score for a key
+/// never depends on who else is in the membership, so a join inserts the
+/// joiner at its rank and shifts only lower ranks down (the top-`k` set
+/// loses at most its last element), and a leave erases one rank and
+/// promotes the next — the basis for instant follower promotion.
+pub(crate) fn weighted_rendezvous_ranked<T>(
+    key: u64,
+    members: impl Iterator<Item = T>,
+    id_of: impl Fn(&T) -> u64,
+    weight_of: impl Fn(&T) -> f64,
+    k: usize,
+) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Small insertion-sorted list (k is 2–3 in practice).
+    let mut ranked: Vec<(f64, u64, u64, T)> = Vec::with_capacity(k + 1);
+    for m in members {
+        let id = id_of(&m);
+        let h = rendezvous_weight(key, id);
+        let u = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let w = {
+            let w = weight_of(&m);
+            if w.is_finite() && w > 0.0 {
+                w.max(MIN_SHARD_WEIGHT)
+            } else {
+                MIN_SHARD_WEIGHT
+            }
+        };
+        let score = w / -u.ln();
+        let pos = ranked
+            .iter()
+            .position(|(bs, bh, bid, _)| {
+                score > *bs || (score == *bs && (h > *bh || (h == *bh && id < *bid)))
+            })
+            .unwrap_or(ranked.len());
+        if pos < k {
+            ranked.insert(pos, (score, h, id, m));
+            ranked.truncate(k);
+        }
+    }
+    ranked.into_iter().map(|(_, _, _, m)| m).collect()
+}
+
+/// The ranked rendezvous replica set of `key`: the top-`k` members by
+/// hashed weight, best first. `owners[0]` is the primary and equals
+/// [`rendezvous_owner`] bit-identically; `owners[1..]` are the followers
+/// in promotion order. `k` is clamped to the membership size.
+///
+/// Panics if `members` is empty.
+pub fn rendezvous_owners(key: u64, members: &[u64], k: usize) -> Vec<u64> {
+    assert!(!members.is_empty(), "rendezvous over empty membership");
+    weighted_rendezvous_ranked(key, members.iter().copied(), |&m| m, |_| 1.0, k)
+}
+
+/// The ranked *weighted* rendezvous replica set of `key`, best first
+/// under [`weighted_rendezvous_owner`]'s ordering: `owners[0]` equals the
+/// single weighted winner bit-identically, `owners[1..]` are the
+/// followers in promotion order. `k` is clamped to the membership size.
+///
+/// Panics if `members` is empty.
+pub fn weighted_rendezvous_owners(key: u64, members: &[ShardWeight], k: usize) -> Vec<u64> {
+    assert!(!members.is_empty(), "rendezvous over empty membership");
+    weighted_rendezvous_ranked(key, members.iter(), |m| m.id, |m| m.weight, k)
+        .into_iter()
+        .map(|m| m.id)
+        .collect()
+}
+
 /// Tag bit marking a routing key as a *child* cell one level finer than
 /// the clustering level (set by [`SplitTable::route_leaf`] for split
 /// cells). Cell indexes use at most `2·leaf_level ≤ 62` bits, so the top
@@ -404,8 +536,9 @@ pub fn routing_key_cell(key: u64, clustering_level: u8) -> CellId {
 /// across up to four shards. Updates still serialize per routing key on
 /// one owner, and each child is lazily clustered by its owner as its own
 /// (smaller) cell — the clustering-vs-cross-cell-move races this could
-/// surface are the same class the promotion-time healing and query-time
-/// dedup already cover for ordinary cell-boundary crossings.
+/// surface are the same class [`cluster_cell`]'s guarded commit already
+/// resolves for ordinary cell-boundary crossings (the merge aborts when
+/// the scanned spatial row changed under it).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SplitTable {
     cells: std::collections::BTreeSet<u64>,
@@ -555,6 +688,66 @@ pub fn slice_ranges_by_placement(
             let slots = by_owner
                 .entry(weighted_rendezvous_owner(key, members))
                 .or_default();
+            match slots.last_mut() {
+                Some((_, le)) if *le == s => *le = e,
+                _ => slots.push((s, e)),
+            }
+            s = e;
+        }
+    }
+    by_owner.into_iter().collect()
+}
+
+/// [`slice_ranges_by_placement`] under replicated ownership: each routing
+/// key's piece goes to the **least-loaded member of its top-`replicas`
+/// rendezvous set** ([`weighted_rendezvous_owners`]) as measured by
+/// `load_of` (ties towards the better rank, so a level fleet reads from
+/// primaries). Reads are correct on any shard — the store is shared — so
+/// spreading a key's read slices over its followers scales read
+/// throughput per cell without touching the write path, which still
+/// serializes on the primary alone.
+///
+/// Still an exact partition of the input, whatever `load_of` returns.
+/// With `replicas <= 1` every piece goes to its primary and the output is
+/// exactly [`slice_ranges_by_placement`]'s.
+pub fn slice_ranges_by_replicas(
+    ranges: &[(u64, u64)],
+    clustering_level: u8,
+    leaf_level: u8,
+    members: &[ShardWeight],
+    splits: &SplitTable,
+    replicas: usize,
+    load_of: impl Fn(u64) -> f64,
+) -> Vec<(u64, Vec<(u64, u64)>)> {
+    assert!(
+        clustering_level <= leaf_level,
+        "clustering level {clustering_level} finer than leaf level {leaf_level}"
+    );
+    let shift = 2 * (leaf_level - clustering_level) as u64;
+    let mut by_owner: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for &(start, end) in ranges {
+        let mut s = start;
+        while s < end {
+            let cell = s >> shift;
+            let (key, e) = if shift >= 2 && splits.is_split(cell) {
+                let child_shift = shift - 2;
+                let child = s >> child_shift;
+                (SPLIT_CHILD_TAG | child, end.min((child + 1) << child_shift))
+            } else {
+                (cell, end.min((cell + 1) << shift))
+            };
+            let set = weighted_rendezvous_owners(key, members, replicas.max(1));
+            let reader = set
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    load_of(a)
+                        .partial_cmp(&load_of(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("replica set is non-empty");
+            let slots = by_owner.entry(reader).or_default();
             match slots.last_mut() {
                 Some((_, le)) if *le == s => *le = e,
                 _ => slots.push((s, e)),
@@ -1063,6 +1256,104 @@ mod tests {
                 expect
             );
         }
+    }
+
+    #[test]
+    fn ranked_owners_lead_with_the_single_winner() {
+        let ids = [3u64, 11, 42, 7, 900_001];
+        let weighted: Vec<ShardWeight> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| ShardWeight {
+                id,
+                weight: 0.5 + i as f64,
+            })
+            .collect();
+        for key in 0..4096u64 {
+            // k = 1 is the single winner, bit for bit, in both flavours.
+            assert_eq!(
+                rendezvous_owners(key, &ids, 1),
+                vec![rendezvous_owner(key, &ids)],
+                "key {key}"
+            );
+            assert_eq!(
+                weighted_rendezvous_owners(key, &weighted, 1),
+                vec![weighted_rendezvous_owner(key, &weighted)],
+                "key {key}"
+            );
+            // Larger k keeps rank 0 the winner and extends with distinct
+            // followers; k past the membership clamps.
+            let set = weighted_rendezvous_owners(key, &weighted, 3);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set[0], weighted_rendezvous_owner(key, &weighted));
+            let mut uniq = set.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replica set has no duplicates");
+            let all = weighted_rendezvous_owners(key, &weighted, 99);
+            assert_eq!(all.len(), ids.len(), "k clamps to the membership");
+            assert_eq!(&all[..3], &set[..], "rank prefix is stable in k");
+        }
+    }
+
+    #[test]
+    fn ranked_owners_are_prefix_stable_under_leave() {
+        // Removing one member promotes the next rank for exactly the keys
+        // it appeared on — every other key's ranked prefix is untouched.
+        let ids = [3u64, 11, 42, 7, 900_001];
+        for key in 0..2048u64 {
+            let before = rendezvous_owners(key, &ids, 3);
+            let departed = before[0];
+            let survivors: Vec<u64> = ids.iter().copied().filter(|&m| m != departed).collect();
+            let after = rendezvous_owners(key, &survivors, 2);
+            assert_eq!(
+                after[..2],
+                before[1..3],
+                "key {key}: the old followers must step up in order"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_slicing_partitions_and_degenerates_to_placement() {
+        let members: Vec<ShardWeight> = [1u64, 2, 5, 9]
+            .iter()
+            .map(|&id| ShardWeight::unit(id))
+            .collect();
+        let (cl, ll) = (2u8, 5u8);
+        let ranges = [(0u64, 700u64), (800, 1024)];
+        // replicas = 1 reproduces the placement slicing exactly.
+        let placement =
+            slice_ranges_by_placement(&ranges, cl, ll, &members, &SplitTable::default());
+        let by_primary =
+            slice_ranges_by_replicas(&ranges, cl, ll, &members, &SplitTable::default(), 1, |_| {
+                0.0
+            });
+        assert_eq!(placement, by_primary);
+        // replicas = 2 with a load signal still partitions the input.
+        let sliced =
+            slice_ranges_by_replicas(&ranges, cl, ll, &members, &SplitTable::default(), 2, |id| {
+                if id == 1 {
+                    100.0
+                } else {
+                    id as f64
+                }
+            });
+        let mut total = 0u64;
+        for (_, slices) in &sliced {
+            for &(s, e) in slices {
+                assert!(s < e);
+                total += e - s;
+            }
+        }
+        assert_eq!(total, 700 + 224, "no leaf dropped or duplicated");
+        // Shard 1 is the heaviest: it serves a key only when it is the
+        // sole replica-set member available, which never happens at k=2
+        // over 4 live shards — its read load shifts to its followers.
+        assert!(
+            sliced.iter().all(|&(id, _)| id != 1),
+            "overloaded shard must not serve replica reads: {sliced:?}"
+        );
     }
 
     #[test]

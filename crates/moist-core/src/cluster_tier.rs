@@ -62,8 +62,8 @@
 //! of the plan), scans every slice on a pooled worker
 //! ([`crate::query_pool::QueryPool`]) against its owner shard, and merges
 //! the partials: hits move (never clone) into one list and each object is
-//! deduplicated exactly once at the merge — the same per-object dedup that
-//! heals the clustering-vs-move races, now applied across shards. The
+//! deduplicated exactly once at the merge (partials scanned at different
+//! instants can double-sight a mover crossing a slice boundary). The
 //! client-visible cost is the *slowest* partial, not the sum, because the
 //! slices consume store time in parallel. [`nn`](MoistCluster::nn)
 //! scatters only when its candidate ring (query cell + edge neighbours at
@@ -100,8 +100,32 @@
 //!   the largest ownership share.
 //!
 //! [`cluster_stats`](MoistCluster::cluster_stats) exposes the whole
-//! signal chain (per-shard utilization/rates/weights, scatter-slice
-//! timings, split table, migration counters) for operators and benches.
+//! signal chain (per-shard utilization/rates/weights, primary/follower
+//! key counts, scatter-slice timings, split table, migration/promotion
+//! counters) for operators and benches.
+//!
+//! ## Replicated ownership
+//!
+//! With [`with_replicas`](MoistCluster::with_replicas)`(k)`, ownership of
+//! each routing key widens from the rendezvous *winner* to the rendezvous
+//! **top-k** ([`crate::cluster::rendezvous_owners`]): rank 0 is the
+//! **primary** — the only shard that takes the key's updates and clusters
+//! it, so every exclusivity invariant above is unchanged — and ranks 1+
+//! are **followers**. Followers hold no private state (the store is
+//! shared, so they mirror the key's schools and spatial rows for free);
+//! what they add is a wider *read* path: NN anchors, fixed-level NN,
+//! anchored regions and object lookups route to the least-loaded live
+//! replica of their key (by virtual elapsed store time, primary on ties),
+//! and scattered NN rings / region slices spread across follower sets the
+//! same way. Because a member's rendezvous score is independent of the
+//! other members, the top-k list is **prefix-stable**: when a primary
+//! leaves, each of its keys' rank-1 follower — already warm on that key's
+//! reads — is exactly the new winner, and adopts the key's clustering
+//! deadline through the ordinary [`migrate_ownership`] handover. Failover
+//! is therefore *promotion*, not recovery. `k = 1` (the default)
+//! reproduces the single-owner tier bit-identically.
+//!
+//! [`migrate_ownership`]: MoistCluster::remove_shard
 //!
 //! [`add_shard`]: MoistCluster::add_shard
 //! [`remove_shard`]: MoistCluster::remove_shard
@@ -131,8 +155,8 @@
 //! ```
 
 use crate::cluster::{
-    slice_ranges_by_placement, weighted_rendezvous_max, ClusterReport, ClusterScheduler,
-    ShardWeight, SplitTable,
+    slice_ranges_by_placement, slice_ranges_by_replicas, weighted_rendezvous_max,
+    weighted_rendezvous_ranked, ClusterReport, ClusterScheduler, ShardWeight, SplitTable,
 };
 use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
@@ -211,8 +235,17 @@ pub struct ShardLoadStats {
     pub update_rate: f64,
     /// EWMA query arrivals per virtual second across the shard's cells.
     pub query_rate: f64,
-    /// Routing keys (cells / split children) this shard's scheduler owns.
-    pub owned_keys: usize,
+    /// Routing keys (cells / split children) this shard is **primary**
+    /// for: its scheduler owns them, their updates serialize on it, and
+    /// it alone clusters them.
+    pub primary_keys: usize,
+    /// Routing keys this shard **follows** (it is in their replica set at
+    /// rank 1+): it mirrors their state through the shared store and
+    /// serves their reads when less loaded than the primary. Always 0 at
+    /// `replicas == 1`.
+    pub follower_keys: usize,
+    /// Reads this shard served as a follower.
+    pub replica_reads: u64,
     /// Scattered partial scans (region + NN slices) this shard served.
     pub scatter_slices: u64,
     /// Virtual µs spent serving those scattered slices.
@@ -233,6 +266,13 @@ pub struct ClusterStats {
     pub epoch_migrations: u64,
     /// Keys migrated by rebalance steps (weight shifts + cell splits).
     pub split_migrations: u64,
+    /// Configured replication factor (1 = unreplicated single-owner).
+    pub replicas: usize,
+    /// Routing keys whose follower stepped up to primary on a shard
+    /// leave (subset of `epoch_migrations`; 0 at `replicas == 1`).
+    pub promotions: u64,
+    /// Reads served by a follower instead of the primary, tier-wide.
+    pub replica_reads: u64,
     /// Aggregate operation counters (live + retired shards).
     pub ops: ServerStats,
 }
@@ -264,6 +304,19 @@ struct ShardEntry {
     /// Stable shard id — never reused, survives other shards' churn.
     id: u64,
     server: Mutex<MoistServer>,
+    /// Reads this shard served as a *follower* (it was in the routing
+    /// key's replica set but not its primary).
+    replica_reads: AtomicU64,
+}
+
+impl ShardEntry {
+    fn new(id: u64, server: MoistServer) -> Self {
+        ShardEntry {
+            id,
+            server: Mutex::new(server),
+            replica_reads: AtomicU64::new(0),
+        }
+    }
 }
 
 /// An immutable snapshot of the tier's membership at one epoch.
@@ -284,6 +337,12 @@ struct Membership {
     weights: Vec<f64>,
     /// Clustering cells whose ownership is split one level finer.
     splits: Arc<SplitTable>,
+    /// Replication factor: each routing key's rendezvous top-`replicas`
+    /// shards form its replica set — rank 0 is the primary (the only
+    /// shard that takes the key's updates and clusters it), ranks 1+ are
+    /// followers that mirror state via the shared store and serve reads.
+    /// 1 reproduces single-owner routing exactly.
+    replicas: usize,
 }
 
 impl Membership {
@@ -321,6 +380,24 @@ impl Membership {
         )
         .map(|(e, _)| e)
         .expect("membership is never empty")
+    }
+
+    /// The ranked replica set of routing key `key`: the rendezvous
+    /// top-`replicas` entries, best first. Index 0 is always exactly
+    /// [`owner_of`](Membership::owner_of)'s winner (same comparator, same
+    /// weights), so "primary" and "owner" can never disagree; the set
+    /// clamps to the live shard count.
+    fn owners_of(&self, key: u64) -> Vec<&Arc<ShardEntry>> {
+        weighted_rendezvous_ranked(
+            key,
+            self.shards.iter().zip(&self.weights),
+            |(e, _)| e.id,
+            |(_, &w)| w,
+            self.replicas.clamp(1, self.shards.len()),
+        )
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect()
     }
 
     /// The routing key of the clustering cell containing leaf index
@@ -418,6 +495,12 @@ pub struct MoistCluster {
     version: AtomicU64,
     /// Cells migrated between shards by join/leave epoch bumps.
     epoch_migrations: AtomicU64,
+    /// Routing keys whose next-ranked follower stepped up to primary on a
+    /// shard leave (replicated mode's instant promotions).
+    promotions: AtomicU64,
+    /// Reads served by a follower instead of the primary, tier-wide
+    /// (monotonic — includes reads served by shards that later retired).
+    replica_reads: AtomicU64,
     /// Cell migrations caused by hot-cell splits (children adopted by a
     /// shard other than the parent's old owner) and by rebalance weight
     /// shifts.
@@ -447,14 +530,12 @@ impl MoistCluster {
         let entries: Vec<Arc<ShardEntry>> = ids
             .iter()
             .map(|&id| {
-                Ok(Arc::new(ShardEntry {
+                Ok(Arc::new(ShardEntry::new(
                     id,
-                    server: Mutex::new(
-                        MoistServer::new(store, cfg)?
-                            .with_scheduler(ClusterScheduler::for_member(&cfg, id, &ids))
-                            .with_shared_estimate(Arc::clone(&object_estimate)),
-                    ),
-                }))
+                    MoistServer::new(store, cfg)?
+                        .with_scheduler(ClusterScheduler::for_member(&cfg, id, &ids))
+                        .with_shared_estimate(Arc::clone(&object_estimate)),
+                )))
             })
             .collect::<Result<_>>()?;
         Ok(MoistCluster {
@@ -465,6 +546,7 @@ impl MoistCluster {
                 weights: vec![1.0; entries.len()],
                 splits: Arc::new(SplitTable::default()),
                 shards: entries,
+                replicas: 1,
             }))),
             query_pool: QueryPool::sized_for_host(),
             retired: Mutex::new(RetiredShards::default()),
@@ -473,10 +555,45 @@ impl MoistCluster {
             next_shard_id: AtomicU64::new(shards as u64),
             version: AtomicU64::new(0),
             epoch_migrations: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            replica_reads: AtomicU64::new(0),
             split_migrations: AtomicU64::new(0),
             rebalance_baseline: Mutex::new(HashMap::new()),
             cell_density: RwLock::new(Arc::new(HashMap::new())),
         })
+    }
+
+    /// Sets the replication factor: each routing key is owned by its
+    /// rendezvous top-`k` shards — the rank-0 **primary** (updates and
+    /// clustering, exactly as in the unreplicated tier) plus `k − 1`
+    /// **followers** that mirror the key's state through the shared store
+    /// and serve its reads when they are less loaded than the primary.
+    /// `k` clamps to the live shard count; `with_replicas(1)` (the
+    /// default) reproduces single-owner routing bit-identically.
+    ///
+    /// Replication here costs no extra storage or write amplification —
+    /// the store is shared, followers hold no private state — it widens
+    /// each key's *read* path and pre-arms a leave: when the primary
+    /// dies, the rank-1 follower is already serving the key's reads and
+    /// adopts its clustering deadlines through the normal migration path.
+    pub fn with_replicas(self, k: usize) -> Self {
+        {
+            let mut guard = self.membership.write();
+            let old = Arc::clone(&guard);
+            *guard = Arc::new(Membership {
+                epoch: old.epoch,
+                shards: old.shards.clone(),
+                weights: old.weights.clone(),
+                splits: Arc::clone(&old.splits),
+                replicas: k.max(1),
+            });
+        }
+        self
+    }
+
+    /// The configured replication factor.
+    pub fn replicas(&self) -> usize {
+        self.snapshot().replicas
     }
 
     /// Attaches one PPP archiver to every shard (current and future
@@ -496,11 +613,36 @@ impl MoistCluster {
         self.membership.read().clone()
     }
 
-    /// The entry owning clustering-cell index `key` in the current
-    /// snapshot, as an owned `Arc` (keeps the shard alive for this
-    /// operation across a concurrent membership change).
-    fn owner_entry(&self, key: u64) -> Arc<ShardEntry> {
-        Arc::clone(self.snapshot().owner_of(key))
+    /// The replica that should serve a *read* of routing key `key`: the
+    /// least-loaded member of the key's replica set, by virtual elapsed
+    /// store time — the same deterministic signal
+    /// [`rebalance`](MoistCluster::rebalance) weighs. Strict `<` with the
+    /// primary scanned first keeps reads on the primary until a follower
+    /// is genuinely cheaper, so `replicas == 1` (where the set *is* the
+    /// primary) reproduces owner routing exactly. Returns the chosen
+    /// entry plus whether it is a follower (rank 1+); each replica's lock
+    /// is taken briefly in turn, never two at once.
+    fn read_replica<'a>(&self, snap: &'a Membership, key: u64) -> (&'a Arc<ShardEntry>, bool) {
+        if snap.replicas <= 1 || snap.shards.len() <= 1 {
+            return (snap.owner_of(key), false);
+        }
+        let set = snap.owners_of(key);
+        let mut best = 0usize;
+        let mut best_load = f64::INFINITY;
+        for (rank, entry) in set.iter().enumerate() {
+            let load = entry.server.lock().elapsed_us();
+            if load < best_load {
+                best_load = load;
+                best = rank;
+            }
+        }
+        (set[best], best > 0)
+    }
+
+    /// Records one follower-served read on `entry` and tier-wide.
+    fn note_replica_read(&self, entry: &ShardEntry) {
+        entry.replica_reads.fetch_add(1, Ordering::Relaxed);
+        self.replica_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The entry at position `shard` in the current snapshot, as an owned
@@ -551,10 +693,7 @@ impl MoistCluster {
         if let Some(archiver) = &self.archiver {
             server = server.with_archiver(Arc::clone(archiver));
         }
-        let joiner = Arc::new(ShardEntry {
-            id,
-            server: Mutex::new(server),
-        });
+        let joiner = Arc::new(ShardEntry::new(id, server));
 
         let mut shards = old.shards.clone();
         let mut weights = old.weights.clone();
@@ -577,6 +716,7 @@ impl MoistCluster {
             shards,
             weights,
             splits: Arc::clone(&old.splits),
+            replicas: old.replicas,
         };
 
         // Seqlock odd phase: updates started against the old snapshot
@@ -716,6 +856,7 @@ impl MoistCluster {
             shards,
             weights,
             splits: Arc::clone(&old.splits),
+            replicas: old.replicas,
         };
 
         // Seqlock odd phase (see `add_shard`). The migration loop hands
@@ -724,6 +865,13 @@ impl MoistCluster {
         self.version.fetch_add(1, Ordering::AcqRel);
         let migrated = self.migrate_ownership(&old, &new);
         self.epoch_migrations.fetch_add(migrated, Ordering::Relaxed);
+        if old.replicas > 1 {
+            // Rendezvous ranks are prefix-stable under a leave: every
+            // migrated key's new primary is exactly its old rank-1
+            // follower, already warm on the key's reads — each handover
+            // is an instant follower promotion.
+            self.promotions.fetch_add(migrated, Ordering::Relaxed);
+        }
         let mut retired = self.retired.lock();
         retired.entries.push(departed);
         retired.compact();
@@ -875,6 +1023,7 @@ impl MoistCluster {
             shards: old.shards.clone(),
             weights,
             splits: Arc::new(splits),
+            replicas: old.replicas,
         };
         self.version.fetch_add(1, Ordering::AcqRel);
         let migrated = self.migrate_ownership(&old, &new);
@@ -907,6 +1056,26 @@ impl MoistCluster {
     /// what placement sees. `now` folds the EWMA windows before reading.
     pub fn cluster_stats(&self, now: Timestamp) -> ClusterStats {
         let snap = self.snapshot();
+        // Follower-key counts per shard id: walk every routing key's
+        // replica set once and charge ranks 1+. Skipped entirely at
+        // `replicas == 1` (no set has a rank 1).
+        let mut follower_counts: HashMap<u64, usize> = HashMap::new();
+        if snap.replicas > 1 {
+            let mut note = |key: u64| {
+                for entry in snap.owners_of(key).into_iter().skip(1) {
+                    *follower_counts.entry(entry.id).or_insert(0) += 1;
+                }
+            };
+            for cell in 0..cells_at_level(self.cfg.clustering_level) {
+                if snap.splits.is_split(cell) {
+                    for child in SplitTable::child_keys(cell) {
+                        note(child);
+                    }
+                } else {
+                    note(cell);
+                }
+            }
+        }
         let shards = snap
             .shards
             .iter()
@@ -921,7 +1090,9 @@ impl MoistCluster {
                     elapsed_us: server.elapsed_us(),
                     update_rate,
                     query_rate,
-                    owned_keys: server.scheduler().owned_count(),
+                    primary_keys: server.scheduler().owned_count(),
+                    follower_keys: follower_counts.get(&entry.id).copied().unwrap_or(0),
+                    replica_reads: entry.replica_reads.load(Ordering::Relaxed),
                     scatter_slices,
                     scatter_slice_us,
                 }
@@ -933,6 +1104,9 @@ impl MoistCluster {
             split_cells: snap.splits.cells().collect(),
             epoch_migrations: self.epoch_migrations.load(Ordering::Relaxed),
             split_migrations: self.split_migrations.load(Ordering::Relaxed),
+            replicas: snap.replicas,
+            promotions: self.promotions.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
             ops: self.stats(),
         }
     }
@@ -1047,8 +1221,12 @@ impl MoistCluster {
     pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
         let leaf = self.cfg.space.leaf_cell(&center).index;
         let snap = self.snapshot();
-        let anchor = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        let (entry, follower) = self.read_replica(&snap, snap.route_leaf(leaf, &self.cfg));
+        let anchor = Arc::clone(entry);
         drop(snap);
+        if follower {
+            self.note_replica_read(&anchor);
+        }
         let level = { anchor.server.lock().flag_level(&center, at)? };
         self.nn_scatter(center, k, at, level, &anchor)
     }
@@ -1064,24 +1242,40 @@ impl MoistCluster {
     ) -> Result<(Vec<Neighbor>, NnStats)> {
         let ring = nn_candidate_ring(&self.cfg, &center, nn_level);
         let snap = self.snapshot();
-        let mut by_owner: Vec<(Arc<ShardEntry>, Vec<CellId>)> = Vec::new();
+        // Group the ring's cells by the replica that should *read* them:
+        // the least-loaded member of each cell's replica set. At
+        // `replicas == 1` this is exactly the old owner grouping; above
+        // it, a hot cell's reads spread over its followers, and cells
+        // whose replica sets overlap can collapse onto one shard (fewer
+        // partials, same exact merge).
+        let mut by_reader: Vec<(Arc<ShardEntry>, Vec<CellId>, u64)> = Vec::new();
         for &cell in &ring {
-            let owner = snap.owner_of(snap.route_leaf(self.leaf_representative(cell), &self.cfg));
-            match by_owner.iter_mut().find(|(e, _)| e.id == owner.id) {
-                Some((_, cells)) => cells.push(cell),
-                None => by_owner.push((Arc::clone(owner), vec![cell])),
+            let key = snap.route_leaf(self.leaf_representative(cell), &self.cfg);
+            let (reader, follower) = self.read_replica(&snap, key);
+            let follower = u64::from(follower);
+            match by_reader.iter_mut().find(|(e, _, _)| e.id == reader.id) {
+                Some((_, cells, followed)) => {
+                    cells.push(cell);
+                    *followed += follower;
+                }
+                None => by_reader.push((Arc::clone(reader), vec![cell], follower)),
             }
         }
-        if k == 0 || by_owner.len() <= 1 {
-            // The whole ring lives on one shard: plain Algorithm 2 there.
+        if k == 0 || by_reader.len() <= 1 {
+            // The whole ring reads on one shard: plain Algorithm 2 there.
             let mut server = anchor.server.lock();
             return server.nn_at_level(center, k, at, nn_level);
         }
 
         let opts = NnOptions::new(k, nn_level);
-        let tasks: Vec<_> = by_owner
+        let tasks: Vec<_> = by_reader
             .into_iter()
-            .map(|(entry, cells)| {
+            .map(|(entry, cells, followed)| {
+                // The partial genuinely runs now: charge the
+                // follower-routed cells to their serving shard.
+                for _ in 0..followed {
+                    self.note_replica_read(&entry);
+                }
                 move || -> Result<NnPartial> {
                     let mut server = entry.server.lock();
                     server.nn_partial(&cells, center, at, &opts)
@@ -1123,8 +1317,12 @@ impl MoistCluster {
     ) -> Result<(Vec<Neighbor>, NnStats)> {
         let leaf = self.cfg.space.leaf_cell(&center).index;
         let snap = self.snapshot();
-        let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        let (entry, follower) = self.read_replica(&snap, snap.route_leaf(leaf, &self.cfg));
+        let entry = Arc::clone(entry);
         drop(snap);
+        if follower {
+            self.note_replica_read(&entry);
+        }
         let mut server = entry.server.lock();
         server.nn_at_level(center, k, at, nn_level)
     }
@@ -1168,13 +1366,35 @@ impl MoistCluster {
             let revalidate = round < MAX_REROUTE_ROUNDS;
             let snap = self.snapshot();
             let placement = snap.placement();
-            let slices = slice_ranges_by_placement(
-                &pending,
-                clustering_level,
-                leaf_level,
-                &placement,
-                &snap.splits,
-            );
+            let slices = if snap.replicas > 1 && snap.shards.len() > 1 {
+                // Replica-aware slicing: each routing key's slice goes to
+                // the least-loaded member of its replica set (one elapsed
+                // snapshot per shard, taken once per round), so a
+                // query-heavy mix spreads a hot key's scans over its
+                // followers instead of pinning the primary.
+                let loads: HashMap<u64, f64> = snap
+                    .shards
+                    .iter()
+                    .map(|e| (e.id, e.server.lock().elapsed_us()))
+                    .collect();
+                slice_ranges_by_replicas(
+                    &pending,
+                    clustering_level,
+                    leaf_level,
+                    &placement,
+                    &snap.splits,
+                    snap.replicas,
+                    |id| loads.get(&id).copied().unwrap_or(f64::INFINITY),
+                )
+            } else {
+                slice_ranges_by_placement(
+                    &pending,
+                    clustering_level,
+                    leaf_level,
+                    &placement,
+                    &snap.splits,
+                )
+            };
             // Balancing pass: the largest owner slices subdivide across
             // idle shards (any shard can scan any range), priced by the
             // load layer's per-cell demand so a short-but-hot range counts
@@ -1241,14 +1461,25 @@ impl MoistCluster {
                                 // gather re-balances them), keep the rest.
                                 let mut mine = Vec::new();
                                 let mut migrated = Vec::new();
-                                for (owner, slice) in slice_ranges_by_placement(
+                                // Re-slice with this worker's load pinned
+                                // to zero: any piece whose *current*
+                                // replica set still contains this shard is
+                                // kept (a replica read is as correct as a
+                                // primary read — one shared store); only
+                                // pieces this shard no longer replicates
+                                // hand back. At `replicas == 1` the set is
+                                // the owner alone, so this degenerates to
+                                // the exact owner re-slicing.
+                                for (reader, slice) in slice_ranges_by_replicas(
                                     &ranges,
                                     clustering_level,
                                     leaf_level,
                                     &now.placement(),
                                     &now.splits,
+                                    now.replicas,
+                                    |id| if id == entry.id { 0.0 } else { 1.0 },
                                 ) {
-                                    if owner == entry.id {
+                                    if reader == entry.id {
                                         mine = slice;
                                     } else {
                                         migrated.extend(slice);
@@ -1302,15 +1533,26 @@ impl MoistCluster {
         let center = rect.center();
         let leaf = self.cfg.space.leaf_cell(&center).index;
         let snap = self.snapshot();
-        let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
+        let (entry, follower) = self.read_replica(&snap, snap.route_leaf(leaf, &self.cfg));
+        let entry = Arc::clone(entry);
         drop(snap);
+        if follower {
+            self.note_replica_read(&entry);
+        }
         let mut server = entry.server.lock();
         server.region(rect, at, margin)
     }
 
-    /// Current position of one object, routed by object id.
+    /// Current position of one object, routed by object id (any replica
+    /// of the id's routing key serves it from the shared store).
     pub fn position(&self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
-        let entry = self.owner_entry(oid.0);
+        let snap = self.snapshot();
+        let (entry, follower) = self.read_replica(&snap, oid.0);
+        let entry = Arc::clone(entry);
+        drop(snap);
+        if follower {
+            self.note_replica_read(&entry);
+        }
         let mut server = entry.server.lock();
         server.position(oid, at)
     }
@@ -1967,5 +2209,106 @@ mod tests {
         let err = cluster.remove_shard(ids[1]).unwrap_err();
         assert!(matches!(err, MoistError::NoSuchShard(_)), "got {err:?}");
         assert_eq!(cluster.num_shards(), 1);
+    }
+
+    #[test]
+    fn replicated_reads_serve_from_followers_and_stay_correct() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap().with_replicas(2);
+        assert_eq!(cluster.replicas(), 2);
+        for i in 0..64u64 {
+            let x = 15.0 + 970.0 * (i % 8) as f64 / 8.0;
+            let y = 15.0 + 970.0 * (i / 8) as f64 / 8.0;
+            cluster.update(&msg(i, x, y, 1.0, 0.0)).unwrap();
+        }
+        // Reads stay exactly correct whichever replica serves them.
+        let (nn, _) = cluster
+            .nn(Point::new(500.0, 500.0), 64, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(nn.len(), 64);
+        let mut seen: Vec<u64> = nn.iter().map(|n| n.oid.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64, "replica routing must not duplicate");
+        for i in [0u64, 31, 63] {
+            assert!(cluster
+                .position(ObjectId(i), Timestamp::ZERO)
+                .unwrap()
+                .is_some());
+        }
+        // The primaries carry the whole update load, so their clocks lead
+        // their followers' — repeated point reads must route some serves
+        // to the less-loaded followers and count them.
+        for round in 0..8u64 {
+            for i in 0..8u64 {
+                let p = Point::new(60.0 + 120.0 * i as f64, 500.0);
+                cluster.nn(p, 3, Timestamp::from_secs(round)).unwrap();
+            }
+        }
+        let cstats = cluster.cluster_stats(Timestamp::ZERO);
+        assert_eq!(cstats.replicas, 2);
+        assert!(
+            cstats.replica_reads > 0,
+            "followers must serve reads: {cstats:?}"
+        );
+        // k=2 accounting: every routing key has exactly one primary and
+        // one follower across the fleet.
+        let keys: usize = cstats.shards.iter().map(|s| s.primary_keys).sum();
+        let follows: usize = cstats.shards.iter().map(|s| s.follower_keys).sum();
+        assert_eq!(keys as u64, cells_at_level(cfg.clustering_level));
+        assert_eq!(follows, keys);
+        let counted: u64 = cstats.shards.iter().map(|s| s.replica_reads).sum();
+        assert_eq!(counted, cstats.replica_reads);
+    }
+
+    #[test]
+    fn remove_shard_promotes_the_next_ranked_replica_for_every_key() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3, // 64 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap().with_replicas(2);
+        let cells = cells_at_level(cfg.clustering_level);
+        let before: Vec<Vec<u64>> = {
+            let snap = cluster.snapshot();
+            (0..cells)
+                .map(|key| snap.owners_of(key).iter().map(|e| e.id).collect())
+                .collect()
+        };
+        let victim = cluster.shard_ids()[1];
+        cluster.remove_shard(victim).unwrap();
+
+        // Prefix stability in action: a key led by the victim is adopted
+        // by its old rank-1 follower — never by a stranger — and every
+        // other key keeps its primary.
+        let snap = cluster.snapshot();
+        let mut expected_promotions = 0u64;
+        for (key, owners) in before.iter().enumerate() {
+            let new_primary = snap.owners_of(key as u64)[0].id;
+            if owners[0] == victim {
+                expected_promotions += 1;
+                assert_eq!(
+                    new_primary, owners[1],
+                    "key {key}: the rank-1 follower must step up"
+                );
+            } else {
+                assert_eq!(
+                    new_primary, owners[0],
+                    "key {key}: primary moved without cause"
+                );
+            }
+        }
+        drop(snap);
+        assert!(
+            expected_promotions > 0,
+            "the victim must have led some keys"
+        );
+        let cstats = cluster.cluster_stats(Timestamp::ZERO);
+        assert_eq!(cstats.promotions, expected_promotions);
+        // The scheduler partition (primaries only) is still exact.
+        sole_owners(&cluster);
     }
 }

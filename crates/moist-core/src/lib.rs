@@ -58,8 +58,9 @@ pub mod tables;
 pub mod update;
 
 pub use cluster::{
-    cluster_cell, cluster_sweep, rendezvous_owner, routing_key_cell, slice_ranges_by_owner,
-    slice_ranges_by_placement, weighted_rendezvous_owner, ClusterReport, ClusterScheduler,
+    cluster_cell, cluster_sweep, rendezvous_owner, rendezvous_owners, routing_key_cell,
+    slice_ranges_by_owner, slice_ranges_by_placement, slice_ranges_by_replicas,
+    weighted_rendezvous_owner, weighted_rendezvous_owners, ClusterReport, ClusterScheduler,
     ShardWeight, SplitTable, SPLIT_CHILD_TAG,
 };
 pub use cluster_tier::{ClusterStats, MoistCluster, RebalanceReport, ShardLoadStats};

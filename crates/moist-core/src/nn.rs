@@ -217,14 +217,11 @@ pub fn nn_query(
         .collect();
     // Ties break by object id, so the ranking is a property of the data —
     // not of scan order — and a scattered merge reproduces it exactly.
+    // Each object appears once: a leader is exactly one spatial entry, a
+    // follower lives in exactly one school, and the clustering merge's
+    // guarded commit keeps those disjoint even under racing cross-cell
+    // moves (a merge whose scanned row changed aborts).
     candidates.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.oid.cmp(&b.oid)));
-    // One sighting per object (the nearest). In a multi-server tier a
-    // clustering merge on one shard can race with the object's own update
-    // on another, so an object transiently shows up both as a spatial
-    // entry and inside a school expansion; queries must not report it
-    // twice (the region query dedups the same way).
-    let mut reported: HashSet<ObjectId> = HashSet::new();
-    candidates.retain(|n| reported.insert(n.oid));
     candidates.truncate(opts.k);
     stats.cost_us = s.elapsed_us() - cost0;
     Ok((candidates, stats))
@@ -362,9 +359,10 @@ fn expand_school_candidates(
 ///
 /// `ring[0]` must be the search's start cell (as
 /// [`nn_candidate_ring`] returns it). Candidates move (no clones);
-/// cross-shard duplicates keep their nearest sighting (the same final
-/// dedup [`nn_query`] applies). Counters add; `cost_us` is the slowest
-/// partial (scattered scans overlap in parallel).
+/// cross-shard duplicates — an object sighted by two partials scanned at
+/// different instants — keep their nearest sighting. Counters add;
+/// `cost_us` is the slowest partial (scattered scans overlap in
+/// parallel).
 pub fn merge_ring_partials(
     cfg: &MoistConfig,
     center: &Point,
@@ -435,12 +433,16 @@ pub fn merge_ring_partials(
     }
 
     // Assemble the answer from the replay-scanned cells only: the same
-    // candidate set, ranking, dedup and truncation as the real search.
+    // candidate set, ranking and truncation as the real search.
     candidates.retain(|c| included.contains(&c.cell));
     let mut merged: Vec<Neighbor> = candidates.into_iter().map(|c| c.neighbor).collect();
     // The same (distance, oid) order nn_query uses: concatenation order of
     // the partials must not leak into tie-breaking.
     merged.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.oid.cmp(&b.oid)));
+    // Partials are scanned by different shards at different instants, so
+    // an object moving between ring cells mid-scatter can be sighted by
+    // two partials; keep its nearest sighting (a single-shard scan is one
+    // instant and cannot double-sight).
     let mut reported: HashSet<ObjectId> = HashSet::new();
     merged.retain(|n| reported.insert(n.oid));
     merged.truncate(opts.k);

@@ -55,10 +55,10 @@ pub struct RegionStats {
 
 /// One shard's share of a (possibly scattered) region query: raw hits plus
 /// that scan's counters. Hits are unordered and may contain duplicates
-/// across partials — a clustering merge on one shard can race an object's
-/// own cross-cell move on another, so the same object can surface both as
-/// a spatial entry in one partial and inside a school expansion in another.
-/// Deduplication happens exactly once, in [`merge_region_partials`].
+/// across partials — partials are scanned by different shards at
+/// different instants, so an object moving between slices mid-scatter can
+/// be sighted by two of them. Deduplication happens exactly once, in
+/// [`merge_region_partials`].
 #[derive(Debug, Default)]
 pub struct RegionPartial {
     /// Raw hits (objects inside the query rectangle), unsorted, undeduped.

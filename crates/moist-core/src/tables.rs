@@ -342,6 +342,65 @@ impl MoistTables {
         )
     }
 
+    /// Atomically deletes a scanned leader's spatial row *only if* it
+    /// still holds exactly the scanned record — the store's
+    /// check-and-mutate under one tablet write lock. This is the commit
+    /// point of a school merge: if the object updated or moved between
+    /// the clustering scan and the commit, the row's value changed (or
+    /// the row is gone), the guard fails, and the caller aborts that
+    /// object's merge instead of demoting a live leader.
+    pub fn spatial_check_and_delete(&self, s: &mut Session, entry: &SpatialEntry) -> Result<bool> {
+        let expected = entry.record.encode();
+        Ok(s.check_and_mutate(
+            &self.spatial,
+            &Self::spatial_key(entry.leaf_index, entry.oid),
+            cols::SPATIAL,
+            cols::SPATIAL_Q,
+            Some(expected.as_ref()),
+            &[Mutation::DeleteRow],
+        )?)
+    }
+
+    /// Moves a leader's entry between leaves **guarded**: the old row is
+    /// deleted only if it is still present with its current value (one
+    /// check-and-mutate under the tablet lock), and the new row is
+    /// written only after winning that delete. Returns `false` — nothing
+    /// written — when the old row is gone or changed: a clustering merge
+    /// absorbed the object concurrently (its commit deletes the row
+    /// through the same guard, see
+    /// [`spatial_check_and_delete`](MoistTables::spatial_check_and_delete)),
+    /// and rewriting the entry would resurrect an absorbed leader. The
+    /// old spatial row is thus the *mutual-exclusion point* between a
+    /// cross-cell move and the old cell's merge: exactly one of the two
+    /// deletes it, and the loser backs off.
+    pub fn spatial_move_guarded(
+        &self,
+        s: &mut Session,
+        old_leaf: u64,
+        new_leaf: u64,
+        oid: ObjectId,
+        rec: &LocationRecord,
+        ts: Timestamp,
+    ) -> Result<bool> {
+        let old_key = Self::spatial_key(old_leaf, oid);
+        let Some(cell) = s.get_latest(&self.spatial, &old_key, cols::SPATIAL, cols::SPATIAL_Q)?
+        else {
+            return Ok(false);
+        };
+        if !s.check_and_mutate(
+            &self.spatial,
+            &old_key,
+            cols::SPATIAL,
+            cols::SPATIAL_Q,
+            Some(&cell.value),
+            &[Mutation::DeleteRow],
+        )? {
+            return Ok(false);
+        }
+        self.spatial_insert(s, new_leaf, oid, rec, ts)?;
+        Ok(true)
+    }
+
     // ---------- Affiliation Table ----------
 
     /// The L/F record of `oid` (None for never-seen objects).
@@ -376,7 +435,11 @@ impl MoistTables {
             .collect()
     }
 
-    /// Writes the L/F record of `oid`.
+    /// Writes the L/F record of `oid`. The write lands at a clamped
+    /// timestamp ([`lf_supersede_ts`](Self::lf_supersede_ts)): an L/F
+    /// write always supersedes the current record, even when the writer's
+    /// virtual clock trails a clustering tick that stamped the head far
+    /// ahead of it.
     pub fn set_lf(
         &self,
         s: &mut Session,
@@ -384,6 +447,7 @@ impl MoistTables {
         lf: &LfRecord,
         ts: Timestamp,
     ) -> Result<()> {
+        let ts = self.lf_supersede_ts(s, oid, ts)?;
         s.mutate_row(
             &self.affiliation,
             &RowKey::from_u64(oid.0),
@@ -392,12 +456,55 @@ impl MoistTables {
         Ok(())
     }
 
-    /// Builds (without applying) the L/F put mutation.
-    pub fn lf_mutation(oid: ObjectId, lf: &LfRecord, ts: Timestamp) -> RowMutation {
-        RowMutation::new(
-            RowKey::from_u64(oid.0),
-            vec![Mutation::put(cols::LF_MEM, cols::LF_Q, ts, lf.encode())],
-        )
+    /// Timestamp at which a *superseding* L/F write must land to become
+    /// the row's newest version.
+    ///
+    /// L/F records are a state machine — only the latest matters — but the
+    /// store orders cell versions by timestamp, and the tier's actors run
+    /// on skewed virtual clocks: a clustering tick can stamp a record far
+    /// ahead of the object's own report clock. A transition written at the
+    /// object's (older) clock would land *behind* the head version — or be
+    /// truncated away outright — and every read would keep resurrecting
+    /// the superseded affiliation. Clamping to just past the head keeps
+    /// the version order equal to the commit order.
+    fn lf_supersede_ts(&self, s: &mut Session, oid: ObjectId, ts: Timestamp) -> Result<Timestamp> {
+        let head = s.get_latest(
+            &self.affiliation,
+            &RowKey::from_u64(oid.0),
+            cols::LF_MEM,
+            cols::LF_Q,
+        )?;
+        Ok(match head {
+            Some(cell) if cell.ts >= ts => Timestamp(cell.ts.0 + 1),
+            _ => ts,
+        })
+    }
+
+    /// Atomically replaces `oid`'s L/F record *only if* it still equals
+    /// `expected` (the store's check-and-mutate). The clustering merge
+    /// re-affiliates an absorbed leader's followers through this guard: a
+    /// follower that promoted concurrently (its update rewrote the record
+    /// on another shard) fails the check and keeps its self-chosen
+    /// affiliation. The replacement lands at a clamped timestamp
+    /// ([`lf_supersede_ts`](Self::lf_supersede_ts)) so a writer with a
+    /// lagging clock still supersedes the record it matched.
+    pub fn lf_check_and_set(
+        &self,
+        s: &mut Session,
+        oid: ObjectId,
+        expected: &LfRecord,
+        new: &LfRecord,
+        ts: Timestamp,
+    ) -> Result<bool> {
+        let ts = self.lf_supersede_ts(s, oid, ts)?;
+        Ok(s.check_and_mutate(
+            &self.affiliation,
+            &RowKey::from_u64(oid.0),
+            cols::LF_MEM,
+            cols::LF_Q,
+            Some(&expected.encode()),
+            &[Mutation::put(cols::LF_MEM, cols::LF_Q, ts, new.encode())],
+        )?)
     }
 
     /// The Follower Info of a leader: each follower with its displacement.

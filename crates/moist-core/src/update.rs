@@ -33,7 +33,8 @@ pub struct UpdateMessage {
 pub enum UpdateOutcome {
     /// First sight: the object became the leader of a new school.
     Registered,
-    /// Leader branch: Location + Spatial Index tables updated.
+    /// Leader branch: Location (and, unless a racing clustering merge
+    /// absorbed the object mid-move, Spatial Index) tables updated.
     LeaderUpdated,
     /// Follower within ε of its estimate: the update was shed — zero
     /// writes reached the store.
@@ -66,119 +67,164 @@ pub fn apply_update(
         leaf_index: new_leaf,
     };
 
-    // Line 1: is the object a leader or a follower?
-    match tables.lf(s, msg.oid)? {
-        None => {
-            // First sight: become a leader of a new (singleton) school.
-            tables.set_lf(
-                s,
-                msg.oid,
-                &LfRecord::Leader {
-                    since_us: msg.ts.0,
-                    last_leaf: new_leaf,
-                },
-                msg.ts,
-            )?;
-            tables.put_location(s, msg.oid, &record, msg.ts)?;
-            tables.spatial_insert(s, new_leaf, msg.oid, &record, msg.ts)?;
-            Ok(UpdateOutcome::Registered)
-        }
-        Some(LfRecord::Leader {
-            since_us,
-            last_leaf,
-        }) => {
-            // Lines 2–3: leader path.
-            tables.put_location(s, msg.oid, &record, msg.ts)?;
-            tables.spatial_move(s, last_leaf, new_leaf, msg.oid, &record, msg.ts)?;
-            if last_leaf != new_leaf {
+    // Line 1: is the object a leader or a follower? The follower branch
+    // re-runs from the top when a racing clustering merge re-affiliates
+    // the object between our affiliation read and our guarded promotion —
+    // the re-read sees the new school and the departure decision is made
+    // against it.
+    loop {
+        return match tables.lf(s, msg.oid)? {
+            None => {
+                // First sight: become a leader of a new (singleton) school.
                 tables.set_lf(
                     s,
                     msg.oid,
                     &LfRecord::Leader {
-                        since_us,
+                        since_us: msg.ts.0,
                         last_leaf: new_leaf,
                     },
                     msg.ts,
                 )?;
+                tables.put_location(s, msg.oid, &record, msg.ts)?;
+                tables.spatial_insert(s, new_leaf, msg.oid, &record, msg.ts)?;
+                Ok(UpdateOutcome::Registered)
             }
-            Ok(UpdateOutcome::LeaderUpdated)
-        }
-        Some(LfRecord::Follower {
-            leader,
-            displacement,
-            ..
-        }) => {
-            // Lines 5–6: estimate the follower's location from its leader.
-            let (leader_ts, leader_rec) = match tables.latest_location(s, leader)? {
-                Some(x) => x,
-                None => {
-                    // The leader vanished (e.g. merged away concurrently and
-                    // its rows aged out): self-heal by promotion.
-                    return promote_to_leader(s, tables, msg, &record, new_leaf, None);
+            Some(LfRecord::Leader {
+                since_us,
+                last_leaf,
+            }) => {
+                // Lines 2–3: leader path.
+                tables.put_location(s, msg.oid, &record, msg.ts)?;
+                if last_leaf == new_leaf {
+                    // Same leaf — same routing key — so this update serializes
+                    // with the cell's clustering on the owner's lock; a plain
+                    // overwrite cannot race a merge.
+                    tables.spatial_move(s, last_leaf, new_leaf, msg.oid, &record, msg.ts)?;
+                } else {
+                    // A cross-cell move is applied by the *destination* cell's
+                    // owner and can race the old cell's clustering merge on
+                    // another shard. The old spatial row is the
+                    // mutual-exclusion point: delete it only while it still
+                    // holds its scanned value (the same check-and-mutate the
+                    // merge commits through), so exactly one side wins.
+                    // Losing means the merge just absorbed this object: skip
+                    // the superseded spatial rewrite — the Location Table
+                    // already carries the report, and the next update takes
+                    // the follower branch against the merged school (and
+                    // departs from it if the move really escaped).
+                    if !tables
+                        .spatial_move_guarded(s, last_leaf, new_leaf, msg.oid, &record, msg.ts)?
+                    {
+                        return Ok(UpdateOutcome::LeaderUpdated);
+                    }
+                    tables.set_lf(
+                        s,
+                        msg.oid,
+                        &LfRecord::Leader {
+                            since_us,
+                            last_leaf: new_leaf,
+                        },
+                        msg.ts,
+                    )?;
                 }
-            };
-            // Lines 7–8: within ε → shed, zero store writes.
-            if within_school(
-                &leader_rec,
-                leader_ts,
-                displacement,
-                &msg.loc,
-                msg.ts,
-                cfg.epsilon,
-            ) {
-                return Ok(UpdateOutcome::Shed);
+                Ok(UpdateOutcome::LeaderUpdated)
             }
-            // Lines 10–13: departure — become a leader of a new school.
-            promote_to_leader(s, tables, msg, &record, new_leaf, Some(leader))
-        }
+            Some(
+                observed @ LfRecord::Follower {
+                    leader,
+                    displacement,
+                    ..
+                },
+            ) => {
+                // Lines 5–6: estimate the follower's location from its leader.
+                let (leader_ts, leader_rec) = match tables.latest_location(s, leader)? {
+                    Some(x) => x,
+                    None => {
+                        // The leader's hot Location row is gone (aged out to
+                        // the disk family after a long quiet spell): self-heal
+                        // by promotion rather than estimating from stale data.
+                        match promote_to_leader(s, tables, msg, &record, new_leaf, &observed, None)?
+                        {
+                            Some(out) => return Ok(out),
+                            None => continue,
+                        }
+                    }
+                };
+                // Lines 7–8: within ε → shed, zero store writes.
+                if within_school(
+                    &leader_rec,
+                    leader_ts,
+                    displacement,
+                    &msg.loc,
+                    msg.ts,
+                    cfg.epsilon,
+                ) {
+                    return Ok(UpdateOutcome::Shed);
+                }
+                // Lines 10–13: departure — become a leader of a new school.
+                match promote_to_leader(s, tables, msg, &record, new_leaf, &observed, Some(leader))?
+                {
+                    Some(out) => Ok(out),
+                    None => continue,
+                }
+            }
+        };
     }
 }
 
 /// Lines 10–13 of Algorithm 1: remove the follower from its old school (if
 /// any) and set it up as a leader.
+///
+/// The leader flag is flipped under a check-and-mutate guard on `observed`
+/// (the affiliation record the departure decision was made against): a
+/// clustering merge running on another shard may have re-affiliated the
+/// object to a surviving leader between our read and this write, and a
+/// blind overwrite would leave the object both inside the survivor's
+/// school *and* holding its own spatial row — a permanent double sighting.
+/// Returns `Ok(None)` when the guard fails, so the caller re-reads the
+/// affiliation and re-decides against the new school.
 fn promote_to_leader(
     s: &mut Session,
     tables: &MoistTables,
     msg: &UpdateMessage,
     record: &LocationRecord,
     new_leaf: u64,
+    observed: &LfRecord,
     old_leader: Option<ObjectId>,
-) -> Result<UpdateOutcome> {
-    let mut batch = Vec::with_capacity(2);
-    if let Some(leader) = old_leader {
-        // Line 10: delete ID's entry from the old leader's Follower Info.
-        batch.push(MoistTables::remove_follower_mutation(leader, msg.oid));
-    }
-    // Line 11: label ID a leader.
-    batch.push(MoistTables::lf_mutation(
+) -> Result<Option<UpdateOutcome>> {
+    // Line 11: label ID a leader — only if nothing re-affiliated it since.
+    let promoted = tables.lf_check_and_set(
+        s,
         msg.oid,
+        observed,
         &LfRecord::Leader {
             since_us: msg.ts.0,
             last_leaf: new_leaf,
         },
         msg.ts,
-    ));
-    tables.affiliation_batch(s, &batch)?;
-    // A promoted follower can still own a stale Spatial Index entry: when
-    // a clustering pass races with the object's own cross-cell move on
-    // another front-end shard, the merge demotes it to follower but
-    // deletes the entry at the leaf the clustering *scan* saw, not the one
-    // its last leader-path write created. That write also stamped the
-    // Location row with its leaf, so drop the entry there before
-    // re-inserting (same-leaf inserts simply overwrite).
-    if let Some((_, prev)) = tables.latest_location(s, msg.oid)? {
-        if prev.leaf_index != new_leaf {
-            tables.spatial_remove(s, prev.leaf_index, msg.oid)?;
-        }
+    )?;
+    if !promoted {
+        return Ok(None);
     }
+    if let Some(leader) = old_leader {
+        // Line 10: delete ID's entry from the old leader's Follower Info
+        // *before* inserting the spatial row, so no instant shows the
+        // object both as a school member and as a row of its own.
+        tables.remove_follower(s, leader, msg.oid)?;
+    }
+    // A promoted follower owns no Spatial Index entry to clean up: the
+    // clustering merge that demoted it deleted its row under a
+    // check-and-mutate guard on the scanned value, so the row the merge
+    // removed is exactly the row the object's last leader-path write
+    // created (a racing move fails the guard and aborts the merge).
     // Line 12: Location Table.
     tables.put_location(s, msg.oid, record, msg.ts)?;
     // Line 13: Spatial Index Table.
     tables.spatial_insert(s, new_leaf, msg.oid, record, msg.ts)?;
-    Ok(match old_leader {
+    Ok(Some(match old_leader {
         Some(old_leader) => UpdateOutcome::Departed { old_leader },
         None => UpdateOutcome::Registered,
-    })
+    }))
 }
 
 #[cfg(test)]

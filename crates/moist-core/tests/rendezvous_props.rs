@@ -24,10 +24,21 @@
 //!    the routing keys exactly and agree with the weighted owner of every
 //!    leaf's routing key, and [`slice_ranges_by_placement`] remains an
 //!    exact partition of any range set.
+//!
+//! The replicated-ownership layer extends it again (same suite):
+//!
+//! 8. **rank-0 pin** — `rendezvous_owners(key, m, 1)` is bit-identical to
+//!    the single `rendezvous_owner` (weighted variant included), so a
+//!    `replicas == 1` tier is exactly the pre-replica tier;
+//! 9. **prefix stability** — a join or leave never reorders the surviving
+//!    members of a replica set: a leave promotes the next-ranked member in
+//!    place, a join can only insert the joiner (possibly displacing the
+//!    tail) — the property instant follower promotion rests on.
 
 use moist_core::{
-    rendezvous_owner, slice_ranges_by_owner, slice_ranges_by_placement, weighted_rendezvous_owner,
-    ClusterScheduler, MoistConfig, ShardWeight, SplitTable,
+    rendezvous_owner, rendezvous_owners, slice_ranges_by_owner, slice_ranges_by_placement,
+    weighted_rendezvous_owner, weighted_rendezvous_owners, ClusterScheduler, MoistConfig,
+    ShardWeight, SplitTable,
 };
 use proptest::prelude::*;
 
@@ -396,6 +407,87 @@ proptest! {
                     "cell {} ownership disagrees with routing", cell
                 );
             }
+        }
+    }
+
+    #[test]
+    fn replica_set_rank_zero_is_the_single_owner_bit_identically(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("replica_rank0", seed);
+        let ids = membership(&mut rng, 12);
+        // Mix equal and unequal weights so the PR-5 tie-break (hash, then
+        // smaller id) is exercised, not just the score comparison.
+        let members: Vec<ShardWeight> = ids
+            .iter()
+            .map(|&id| ShardWeight {
+                id,
+                weight: if rng.below(2) == 0 { 1.0 } else { 0.5 + rng.below(6) as f64 / 2.0 },
+            })
+            .collect();
+        for key in 0..1024u64 {
+            // k = 1 is the pre-replica tier, bit for bit.
+            prop_assert_eq!(
+                rendezvous_owners(key, &ids, 1),
+                vec![rendezvous_owner(key, &ids)]
+            );
+            prop_assert_eq!(
+                weighted_rendezvous_owners(key, &members, 1),
+                vec![weighted_rendezvous_owner(key, &members)]
+            );
+            // And rank 0 of any larger set is still that winner, with all
+            // members distinct and the set clamped to the membership.
+            let k = 1 + (rng.below(4) as usize);
+            let owners = weighted_rendezvous_owners(key, &members, k);
+            prop_assert_eq!(owners.len(), k.min(members.len()));
+            prop_assert_eq!(owners[0], weighted_rendezvous_owner(key, &members));
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), owners.len(), "replica set repeats a member");
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_prefix_stable_under_join_and_leave(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("replica_prefix", seed);
+        let mut ids = membership(&mut rng, 10);
+        if ids.len() < 2 {
+            ids.push(ids[0] + 1);
+        }
+        let k = 2 + (rng.below(2) as usize); // 2..=3, the practical range
+        let departed = ids[rng.below(ids.len() as u64) as usize];
+        let survivors: Vec<u64> = ids.iter().copied().filter(|&m| m != departed).collect();
+        let joiner = loop {
+            let id = rng.below(1 << 20) + (1 << 20);
+            if !ids.contains(&id) {
+                break id;
+            }
+        };
+        let mut grown = ids.clone();
+        grown.push(joiner);
+
+        for key in 0..1024u64 {
+            let before = rendezvous_owners(key, &ids, k);
+
+            // Leave: the departed member drops out of every set it was in;
+            // everyone else keeps their relative rank (a rank-0 departure
+            // promotes the rank-1 follower in place — instant promotion),
+            // and only the freed tail slot is refilled.
+            let after_leave = rendezvous_owners(key, &survivors, k);
+            let kept: Vec<u64> = before.iter().copied().filter(|&m| m != departed).collect();
+            prop_assert!(
+                after_leave.starts_with(&kept),
+                "key {}: leave reordered survivors ({:?} -> {:?})", key, before, after_leave
+            );
+
+            // Join: incumbents never reorder — stripping the joiner from
+            // the new set leaves a prefix of the old one.
+            let after_join = rendezvous_owners(key, &grown, k);
+            let incumbents: Vec<u64> =
+                after_join.iter().copied().filter(|&m| m != joiner).collect();
+            prop_assert!(
+                before.starts_with(&incumbents),
+                "key {}: join reordered incumbents ({:?} -> {:?})", key, before, after_join
+            );
         }
     }
 }

@@ -309,6 +309,168 @@ fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
     assert!(!nn.is_empty());
 }
 
+/// Replicated ownership under failure: at `replicas == 2` every routing
+/// key has a rank-1 follower already mirroring it through the shared
+/// store, so a shard kill is a *promotion*, not a recovery. The contract
+/// on top of the plain kill: zero acked-update loss, exactly one primary
+/// per key at every step, queries answering on every tick through the
+/// kill, and the tier counting real promotions and follower-served reads.
+#[test]
+fn replicated_tier_promotes_followers_through_a_shard_kill_without_downtime() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS)
+        .unwrap()
+        .with_replicas(2);
+    let victim = *cluster.shard_ids().last().unwrap();
+
+    let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
+        .map(|i| {
+            Mutex::new(RoadNetSim::new(
+                RoadMap::new(RoadMapConfig::default()),
+                SimConfig {
+                    agents: 100,
+                    seed: 11_000 + i as u64,
+                    ..SimConfig::default()
+                },
+            ))
+        })
+        .collect();
+
+    let killed = AtomicBool::new(false);
+    let queries_before_kill = AtomicU64::new(0);
+    let queries_after_kill = AtomicU64::new(0);
+
+    let sent: Vec<u64> = ClientPool::run(WORKERS, |i| {
+        let mut sim = sims[i].lock().expect("sim lock");
+        let oid_base = i as u64 * 1_000_000;
+        let mut count = 0u64;
+        let mut t = 0.0;
+        while t < END_SECS {
+            t = (t + 5.0).min(END_SECS);
+            for u in sim.advance_until(t) {
+                cluster
+                    .update(&UpdateMessage {
+                        oid: ObjectId(oid_base + u.oid),
+                        loc: u.loc,
+                        vel: u.vel,
+                        ts: Timestamp::from_secs_f64(u.at_secs),
+                    })
+                    .expect("updates must keep landing through the promotion");
+                count += 1;
+            }
+
+            if i == 0
+                && t >= KILL_AT_SECS
+                && killed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                cluster
+                    .remove_shard(victim)
+                    .expect("killing the replicated shard must succeed");
+            }
+
+            let mut shard = i;
+            while shard < SHARDS {
+                match cluster.run_due_clustering_shard(shard, Timestamp::from_secs_f64(t)) {
+                    Ok(_) | Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("clustering tick failed: {e}"),
+                }
+                shard += WORKERS.min(SHARDS);
+            }
+
+            // Zero-downtime probes: every worker queries on every tick;
+            // any error — before, during or after the kill — fails the
+            // test. At k=2 the reads may land on either replica of the
+            // probed cell.
+            let at = Timestamp::from_secs_f64(t);
+            let probe = Point::new(100.0 + (i as f64) * 100.0, 500.0);
+            cluster
+                .nn(probe, 3, at)
+                .expect("NN must answer on every tick through the promotion");
+            cluster
+                .region(&Rect::new(250.0, 250.0, 750.0, 750.0), at, 0.0)
+                .expect("region must answer on every tick through the promotion");
+            if killed.load(Ordering::SeqCst) {
+                queries_after_kill.fetch_add(2, Ordering::Relaxed);
+            } else {
+                queries_before_kill.fetch_add(2, Ordering::Relaxed);
+            }
+        }
+        count
+    });
+    let sent: u64 = sent.iter().sum();
+
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "worker 0 must kill the shard"
+    );
+    assert_eq!(cluster.num_shards(), SHARDS - 1);
+    assert!(queries_before_kill.load(Ordering::Relaxed) > 0);
+    assert!(
+        queries_after_kill.load(Ordering::Relaxed) > 0,
+        "ticks must keep querying after the kill"
+    );
+
+    // Exactly one primary per key: the scheduler partition is still exact
+    // after the promotion — follower ranks never entered it.
+    common::sole_owner_positions(&cluster);
+
+    // Zero acked-update loss through the promotion.
+    let agg = cluster.stats();
+    assert_eq!(agg.updates, sent, "no acked update lost or double-counted");
+    assert!(agg.balanced(), "outcomes must sum to updates: {agg:?}");
+
+    // The tier counted the promotions: every key the victim led now has
+    // its old rank-1 follower as primary, and the promotion set is a
+    // subset of the kill's migrations.
+    let cstats = cluster.cluster_stats(Timestamp::from_secs_f64(END_SECS));
+    assert_eq!(cstats.replicas, 2);
+    assert!(
+        cstats.promotions > 0,
+        "the kill must promote followers: {cstats:?}"
+    );
+    assert!(
+        cstats.promotions <= cstats.epoch_migrations,
+        "promotions are a subset of epoch migrations: {cstats:?}"
+    );
+    // Replica accounting holds on the survivors: every key has one
+    // primary and one follower, and followers really served reads.
+    let keys: usize = cstats.shards.iter().map(|s| s.primary_keys).sum();
+    let follows: usize = cstats.shards.iter().map(|s| s.follower_keys).sum();
+    assert_eq!(follows, keys, "k=2: every key has exactly one follower");
+    assert!(
+        cstats.replica_reads > 0,
+        "followers must serve some reads under load: {cstats:?}"
+    );
+
+    // Instant promotion, not recovery: the adopted cells kept live
+    // deadlines, so one sweep past the interval fires every cell exactly
+    // once on its (possibly promoted) primary.
+    let cells = cells_at_level(cfg.clustering_level);
+    let sweep_at = Timestamp::from_secs_f64(END_SECS + cfg.cluster_interval_secs + 1.0);
+    let runs_before = cluster.stats().cluster_runs;
+    for shard in 0..cluster.num_shards() {
+        cluster.run_due_clustering_shard(shard, sweep_at).unwrap();
+    }
+    assert_eq!(
+        cluster.stats().cluster_runs - runs_before,
+        cells,
+        "post-promotion sweep must cluster each cell exactly once"
+    );
+    let (nn, _) = cluster.nn(Point::new(500.0, 500.0), 100, sweep_at).unwrap();
+    assert!(!nn.is_empty(), "the promoted tier must keep answering");
+    let mut ids: Vec<u64> = nn.iter().map(|n| n.oid.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        nn.len(),
+        "replica reads must not duplicate objects"
+    );
+}
+
 #[test]
 fn killing_and_rejoining_shards_repeatedly_keeps_the_partition_tight() {
     let store = Bigtable::new();
