@@ -127,6 +127,25 @@
 //!
 //! [`migrate_ownership`]: MoistCluster::remove_shard
 //!
+//! ## Pipelined ingestion
+//!
+//! [`update`](MoistCluster::update) is the synchronous baseline: one
+//! message, one owner lock, one store round-trip per write. The pipelined
+//! tier ([`crate::ingest`]) buffers submissions in a bounded queue per
+//! shard ([`submit`](MoistCluster::submit)), flushes each queue as one
+//! [`MoistServer::update_batch`] when it reaches the batch size or its
+//! oldest message ages past the flush deadline
+//! ([`flush_due`](MoistCluster::flush_due)), and surfaces a full queue as
+//! typed backpressure instead of queueing unboundedly. Batched flushes go
+//! through [`update_batch`](MoistCluster::update_batch), which re-routes
+//! every message under the same membership seqlock the synchronous path
+//! uses — grouped by the *current* owner, re-validated after each owner
+//! lock — and every epoch bump (join, leave, rebalance) drains the queues
+//! right after publishing its snapshot
+//! ([`drain_ingest`](MoistCluster::drain_ingest)), so in-flight batches
+//! re-route rather than land on a migrated cell's old owner and a killed
+//! shard's buffered messages are applied, not lost.
+//!
 //! [`add_shard`]: MoistCluster::add_shard
 //! [`remove_shard`]: MoistCluster::remove_shard
 //!
@@ -161,6 +180,10 @@ use crate::cluster::{
 use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
+use crate::ingest::{
+    BackpressurePolicy, EnqueueResult, FlushKind, IngestConfig, IngestQueues, IngestStats,
+    SubmitOutcome,
+};
 use crate::nn::{merge_ring_partials, nn_candidate_ring};
 use crate::nn::{Neighbor, NnOptions, NnPartial, NnStats};
 use crate::query_pool::QueryPool;
@@ -250,6 +273,8 @@ pub struct ShardLoadStats {
     pub scatter_slices: u64,
     /// Virtual µs spent serving those scattered slices.
     pub scatter_slice_us: f64,
+    /// Messages currently buffered in this shard's ingest queue.
+    pub queue_depth: usize,
 }
 
 /// The tier-level load/placement rollup returned by
@@ -273,6 +298,9 @@ pub struct ClusterStats {
     pub promotions: u64,
     /// Reads served by a follower instead of the primary, tier-wide.
     pub replica_reads: u64,
+    /// Ingestion-pipeline counters: queue depths, flush sizes and
+    /// latencies, and the backpressure / overload-shed split.
+    pub ingest: IngestStats,
     /// Aggregate operation counters (live + retired shards).
     pub ops: ServerStats,
 }
@@ -296,6 +324,19 @@ impl ClusterStats {
         } else {
             max / mean
         }
+    }
+
+    /// Total submissions that produced **no** store-applied update:
+    /// school sheds ([`ServerStats::shed`] — absorbed by the school
+    /// model), pipeline overload sheds (dropped on a full queue under
+    /// [`BackpressurePolicy::Shed`](crate::BackpressurePolicy::Shed)) and
+    /// backpressure rejections (refused, client retries). The three are
+    /// kept as separate counters because they mean different things to a
+    /// client-visible QPS derivation — school sheds are *served* updates,
+    /// the other two are not — this helper is the denominator-side rollup
+    /// the benches share.
+    pub fn shed_or_backpressure(&self) -> u64 {
+        self.ops.shed + self.ingest.overload_shed + self.ingest.backpressure
     }
 }
 
@@ -513,6 +554,12 @@ pub struct MoistCluster {
     /// consumed by the region fan-out to price slices — empty until the
     /// first rebalance (every cell then prices by its leaf span alone).
     cell_density: RwLock<Arc<HashMap<u64, f64>>>,
+    /// Ingestion-pipeline knobs (batch size, queue cap, flush deadline,
+    /// backpressure policy). Defaulted; tuned via
+    /// [`with_ingest`](MoistCluster::with_ingest).
+    ingest_cfg: IngestConfig,
+    /// The per-shard bounded submission queues plus their counters.
+    ingest: IngestQueues,
 }
 
 impl MoistCluster {
@@ -560,7 +607,30 @@ impl MoistCluster {
             split_migrations: AtomicU64::new(0),
             rebalance_baseline: Mutex::new(HashMap::new()),
             cell_density: RwLock::new(Arc::new(HashMap::new())),
+            ingest_cfg: IngestConfig::default().normalized(),
+            ingest: IngestQueues::default(),
         })
+    }
+
+    /// Tunes the ingestion pipeline ([`submit`](MoistCluster::submit) /
+    /// [`flush_due`](MoistCluster::flush_due)): batch size, queue cap,
+    /// flush deadline and the full-queue policy. Degenerate sizes are
+    /// clamped to workable minima. The synchronous
+    /// [`update`](MoistCluster::update) path is unaffected.
+    pub fn with_ingest(mut self, cfg: IngestConfig) -> Self {
+        self.ingest_cfg = cfg.normalized();
+        self
+    }
+
+    /// The ingestion pipeline's current knobs.
+    pub fn ingest_config(&self) -> IngestConfig {
+        self.ingest_cfg
+    }
+
+    /// Point-in-time ingestion-pipeline counters (also embedded in
+    /// [`cluster_stats`](MoistCluster::cluster_stats)).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest.stats()
     }
 
     /// Sets the replication factor: each routing key is owned by its
@@ -727,6 +797,11 @@ impl MoistCluster {
         self.epoch_migrations.fetch_add(migrated, Ordering::Relaxed);
         *guard = Arc::new(new);
         self.version.fetch_add(1, Ordering::AcqRel);
+        // Drain the ingest queues against the published snapshot (write
+        // lock released first — the drain re-takes it read-side): batches
+        // buffered under the old epoch re-route to the new owners now.
+        drop(guard);
+        self.drain_ingest()?;
         Ok(id)
     }
 
@@ -878,6 +953,12 @@ impl MoistCluster {
         drop(retired);
         *guard = Arc::new(new);
         self.version.fetch_add(1, Ordering::AcqRel);
+        // Drain-and-reroute: anything buffered for the departed shard
+        // (or any other) applies now, under the survivors' ownership —
+        // an acknowledged submission is never stranded behind a dead
+        // shard's queue key.
+        drop(guard);
+        self.drain_ingest()?;
         Ok(())
     }
 
@@ -1030,6 +1111,12 @@ impl MoistCluster {
         self.split_migrations.fetch_add(migrated, Ordering::Relaxed);
         *guard = Arc::new(new);
         self.version.fetch_add(1, Ordering::AcqRel);
+        // Same drain-and-reroute as join/leave. Store errors cannot
+        // occur on the in-memory store and rebalance reports rather than
+        // fails; a real deployment would surface this through the
+        // ingest error counters instead of aborting the placement step.
+        drop(guard);
+        let _ = self.drain_ingest();
         RebalanceReport {
             epoch: old.epoch + 1,
             reweighted,
@@ -1095,6 +1182,7 @@ impl MoistCluster {
                     replica_reads: entry.replica_reads.load(Ordering::Relaxed),
                     scatter_slices,
                     scatter_slice_us,
+                    queue_depth: self.ingest.depth(entry.id),
                 }
             })
             .collect();
@@ -1107,6 +1195,7 @@ impl MoistCluster {
             replicas: snap.replicas,
             promotions: self.promotions.load(Ordering::Relaxed),
             replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            ingest: self.ingest.stats(),
             ops: self.stats(),
         }
     }
@@ -1206,6 +1295,158 @@ impl MoistCluster {
             // entry may no longer own the cell. Re-route.
             drop(server);
         }
+    }
+
+    /// Applies a batch of updates, each on the shard owning its
+    /// clustering cell, amortizing lock acquisitions and store
+    /// round-trips across each shard's group
+    /// ([`MoistServer::update_batch`]).
+    ///
+    /// Routing holds the same seqlock discipline as
+    /// [`update`](MoistCluster::update), per owner group: messages are
+    /// grouped by the current snapshot's owners, the version is re-read
+    /// after each owner's lock is taken, and groups raced by an epoch
+    /// bump return to the pending set and re-route on the new snapshot —
+    /// so no message in the batch ever lands on a migrated cell's old
+    /// owner. Outcomes come back in message order. On a store error the
+    /// already-applied groups stay applied (store errors are fatal in
+    /// this tier, never transient).
+    pub fn update_batch(&self, msgs: &[UpdateMessage]) -> Result<Vec<UpdateOutcome>> {
+        if msgs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<Option<UpdateOutcome>> = vec![None; msgs.len()];
+        let mut pending: Vec<usize> = (0..msgs.len()).collect();
+        while !pending.is_empty() {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                // A membership change is migrating cells right now.
+                std::thread::yield_now();
+                continue;
+            }
+            let snap = self.snapshot();
+            // Group by owner in first-seen order: deterministic apply
+            // order per submission order, so the virtual-time cost model
+            // stays reproducible.
+            let mut groups: Vec<(Arc<ShardEntry>, Vec<usize>)> = Vec::new();
+            let mut slot_of: HashMap<u64, usize> = HashMap::new();
+            for &i in &pending {
+                let leaf = self.cfg.space.leaf_cell(&msgs[i].loc).index;
+                let entry = snap.owner_of(snap.route_leaf(leaf, &self.cfg));
+                let slot = *slot_of.entry(entry.id).or_insert_with(|| {
+                    groups.push((Arc::clone(entry), Vec::new()));
+                    groups.len() - 1
+                });
+                groups[slot].1.push(i);
+            }
+            drop(snap);
+            pending.clear();
+            for (entry, idxs) in groups {
+                let mut server = entry.server.lock();
+                if self.version.load(Ordering::Acquire) != v1 {
+                    // An epoch bump raced this group: its owner may have
+                    // changed. Hand the whole group back for re-routing.
+                    drop(server);
+                    pending.extend(idxs);
+                    continue;
+                }
+                let batch: Vec<UpdateMessage> = idxs.iter().map(|&i| msgs[i]).collect();
+                let outcomes = server.update_batch(&batch)?;
+                drop(server);
+                for (&i, o) in idxs.iter().zip(outcomes) {
+                    out[i] = Some(o);
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every message applied by exactly one group"))
+            .collect())
+    }
+
+    /// Submits one update to the ingestion pipeline instead of applying
+    /// it synchronously.
+    ///
+    /// The message is routed by the current membership snapshot to its
+    /// owner shard's bounded queue. An enqueue that fills the batch
+    /// flushes it inline through
+    /// [`update_batch`](MoistCluster::update_batch) (which re-routes
+    /// under the seqlock, so queue-key staleness is harmless). A full
+    /// queue surfaces per the configured [`BackpressurePolicy`]: a typed
+    /// [`MoistError::Backpressure`] (nothing accepted — the client owns
+    /// the retry) or an overload shed ([`SubmitOutcome::ShedOverload`],
+    /// counted separately from school sheds). Malformed (non-finite)
+    /// messages are rejected here, before buffering, so a later flush
+    /// can never fail on a message that was already acknowledged.
+    ///
+    /// `Ok(Enqueued { .. }) | Ok(Flushed { .. })` is the pipeline's
+    /// acknowledgement: the update **will** be applied — by a size or
+    /// deadline flush, or by the drain every epoch bump and
+    /// [`drain_ingest`](MoistCluster::drain_ingest) call performs.
+    pub fn submit(&self, msg: &UpdateMessage) -> Result<SubmitOutcome> {
+        if !msg.loc.is_finite() || !msg.vel.is_finite() {
+            return Err(MoistError::Inconsistent(format!(
+                "non-finite update for {}",
+                msg.oid
+            )));
+        }
+        let leaf = self.cfg.space.leaf_cell(&msg.loc).index;
+        let snap = self.snapshot();
+        let shard = snap.owner_of(snap.route_leaf(leaf, &self.cfg)).id;
+        drop(snap);
+        match self.ingest.enqueue(&self.ingest_cfg, shard, msg) {
+            EnqueueResult::Queued { depth } => Ok(SubmitOutcome::Enqueued { shard, depth }),
+            EnqueueResult::Batch(batch) => {
+                self.update_batch(&batch)?;
+                let flush_ts = Timestamp(batch.iter().map(|m| m.ts.0).max().unwrap_or(0));
+                self.ingest
+                    .note_flush(FlushKind::Size, shard, &batch, flush_ts);
+                Ok(SubmitOutcome::Flushed {
+                    shard,
+                    batch: batch.len(),
+                })
+            }
+            EnqueueResult::Full { depth } => match self.ingest_cfg.policy {
+                BackpressurePolicy::Reject => Err(MoistError::Backpressure { shard, depth }),
+                BackpressurePolicy::Shed => Ok(SubmitOutcome::ShedOverload { shard }),
+            },
+        }
+    }
+
+    /// Flushes every ingest queue whose oldest buffered message has aged
+    /// past the flush deadline at (virtual) `now` — the "or deadline"
+    /// half of the flush trigger, driven by client ticks rather than a
+    /// background thread so the cost model stays deterministic. Returns
+    /// the number of updates applied.
+    pub fn flush_due(&self, now: Timestamp) -> Result<usize> {
+        let mut flushed = 0usize;
+        for (shard, batch) in self.ingest.take_due(&self.ingest_cfg, now) {
+            self.update_batch(&batch)?;
+            self.ingest
+                .note_flush(FlushKind::Deadline, shard, &batch, now);
+            flushed += batch.len();
+        }
+        Ok(flushed)
+    }
+
+    /// Drains every ingest queue unconditionally, applying everything
+    /// buffered. Called by every epoch bump
+    /// ([`add_shard`](MoistCluster::add_shard) /
+    /// [`remove_shard`](MoistCluster::remove_shard) /
+    /// [`rebalance`](MoistCluster::rebalance)) right after its snapshot
+    /// publishes — in-flight batches re-route to the new owners instead
+    /// of being stranded behind a dead shard's queue key — and by
+    /// clients at end-of-stream. Returns the number of updates applied.
+    pub fn drain_ingest(&self) -> Result<usize> {
+        let mut flushed = 0usize;
+        for (shard, batch) in self.ingest.take_all() {
+            self.update_batch(&batch)?;
+            let flush_ts = Timestamp(batch.iter().map(|m| m.ts.0).max().unwrap_or(0));
+            self.ingest
+                .note_flush(FlushKind::Drain, shard, &batch, flush_ts);
+            flushed += batch.len();
+        }
+        Ok(flushed)
     }
 
     /// FLAG-tuned k-nearest-neighbour query.
@@ -2310,5 +2551,260 @@ mod tests {
         assert_eq!(cstats.promotions, expected_promotions);
         // The scheduler partition (primaries only) is still exact.
         sole_owners(&cluster);
+    }
+
+    #[test]
+    fn pipelined_submissions_match_the_synchronous_tier_and_cost_less() {
+        let store_sync = Bigtable::new();
+        let store_pipe = Bigtable::new();
+        let cfg = MoistConfig::default();
+        let sync = MoistCluster::new(&store_sync, cfg, 4).unwrap();
+        let pipe = MoistCluster::new(&store_pipe, cfg, 4)
+            .unwrap()
+            .with_ingest(IngestConfig {
+                batch_size: 16,
+                ..IngestConfig::default()
+            });
+        // Two reporting rounds over a spread map: the second round is
+        // refreshes (leaders + sheddable followers), where batching pays.
+        let mut msgs = Vec::new();
+        for round in 0..2u64 {
+            for i in 0..64u64 {
+                let x = 15.0 + 970.0 * (i % 8) as f64 / 8.0;
+                let y = 15.0 + 970.0 * (i / 8) as f64 / 8.0;
+                msgs.push(msg(i, x + round as f64, y, 1.0, 10.0 * round as f64));
+            }
+        }
+        for m in &msgs {
+            sync.update(m).unwrap();
+            pipe.submit(m).unwrap();
+        }
+        pipe.drain_ingest().unwrap();
+
+        let (a, b) = (sync.stats(), pipe.stats());
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.registered, b.registered);
+        assert_eq!(a.shed, b.shed);
+        // Same routing: per-shard update counts agree exactly.
+        let per_shard =
+            |c: &MoistCluster| -> Vec<u64> { c.shard_stats().iter().map(|s| s.updates).collect() };
+        assert_eq!(per_shard(&sync), per_shard(&pipe));
+        // Amortization is real: the pipelined tier consumed less virtual
+        // store time for the same stream.
+        assert!(
+            pipe.total_elapsed_us() < sync.total_elapsed_us(),
+            "batched {} µs vs sync {} µs",
+            pipe.total_elapsed_us(),
+            sync.total_elapsed_us()
+        );
+        let is = pipe.ingest_stats();
+        assert_eq!(is.submitted, msgs.len() as u64);
+        assert_eq!(is.enqueued, msgs.len() as u64);
+        assert_eq!(is.flushed_updates, msgs.len() as u64);
+        assert_eq!(is.queued, 0, "drain left nothing behind");
+        assert!(is.size_flushes >= 1, "16-deep queues must size-flush");
+        assert!(is.max_batch >= 2);
+        assert_eq!(is.backpressure + is.overload_shed, 0);
+        let cstats = pipe.cluster_stats(Timestamp::from_secs(20));
+        assert_eq!(cstats.ingest, is);
+        assert_eq!(cstats.shed_or_backpressure(), cstats.ops.shed);
+        assert!(cstats.shards.iter().all(|s| s.queue_depth == 0));
+    }
+
+    #[test]
+    fn deadline_flush_applies_a_stranded_trickle() {
+        let store = Bigtable::new();
+        let cluster = MoistCluster::new(&store, MoistConfig::default(), 2)
+            .unwrap()
+            .with_ingest(IngestConfig {
+                batch_size: 1000,
+                flush_deadline_secs: 5.0,
+                ..IngestConfig::default()
+            });
+        for i in 0..3u64 {
+            let out = cluster.submit(&msg(i, 100.0, 100.0, 1.0, 0.0)).unwrap();
+            assert!(matches!(out, SubmitOutcome::Enqueued { .. }));
+        }
+        // Before the oldest message ages past the deadline: nothing due.
+        assert_eq!(cluster.flush_due(Timestamp::from_secs(3)).unwrap(), 0);
+        assert_eq!(cluster.stats().updates, 0);
+        // Past it: the whole trickle applies as one batch.
+        assert_eq!(cluster.flush_due(Timestamp::from_secs(5)).unwrap(), 3);
+        assert_eq!(cluster.stats().updates, 3);
+        let is = cluster.ingest_stats();
+        assert_eq!(is.deadline_flushes, 1);
+        assert_eq!(is.queued, 0);
+        // Queue wait was accounted in virtual time: 5s + 5s + 5s.
+        assert_eq!(is.queue_wait_us, 15_000_000);
+    }
+
+    /// Runs the backpressure dance under `policy`: one thread pins the
+    /// target shard's lock, another submits a full batch that blocks
+    /// applying against it, and the main thread keeps submitting until
+    /// the outstanding cap trips. Returns what the tripping submission
+    /// got.
+    fn provoke_full_queue(policy: BackpressurePolicy) -> (MoistCluster, Result<SubmitOutcome>) {
+        let store = Bigtable::new();
+        let cluster = MoistCluster::new(&store, MoistConfig::default(), 2)
+            .unwrap()
+            .with_ingest(IngestConfig {
+                batch_size: 4,
+                queue_cap: 5,
+                policy,
+                ..IngestConfig::default()
+            });
+        let p = Point::new(100.0, 100.0);
+        let shard_pos = cluster.shard_for_point(&p);
+        let pinned = std::sync::atomic::AtomicBool::new(false);
+        let release = std::sync::atomic::AtomicBool::new(false);
+        let tripped = std::thread::scope(|scope| {
+            // Pin the owner's lock so the size-flush below cannot finish.
+            let pin = scope.spawn(|| {
+                cluster
+                    .with_shard(shard_pos, |_| {
+                        pinned.store(true, Ordering::Release);
+                        while !release.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    })
+                    .unwrap();
+            });
+            // 4th submission fills the batch and blocks applying it
+            // (submitting only after the pin visibly holds the lock).
+            let flusher = scope.spawn(|| {
+                while !pinned.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                for i in 0..4u64 {
+                    cluster.submit(&msg(i, 100.0, 100.0, 1.0, 0.0)).unwrap();
+                }
+            });
+            // Wait until the blocked batch's slots are visibly held.
+            while cluster.ingest_stats().queued < 4 {
+                std::thread::yield_now();
+            }
+            // 5th fits the cap (5), 6th trips it.
+            let under = cluster.submit(&msg(10, 100.0, 100.0, 1.0, 0.0)).unwrap();
+            assert!(matches!(under, SubmitOutcome::Enqueued { depth: 5, .. }));
+            let tripped = cluster.submit(&msg(11, 100.0, 100.0, 1.0, 0.0));
+            release.store(true, Ordering::Release);
+            pin.join().unwrap();
+            flusher.join().unwrap();
+            tripped
+        });
+        cluster.drain_ingest().unwrap();
+        (cluster, tripped)
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_backpressure() {
+        let (cluster, tripped) = provoke_full_queue(BackpressurePolicy::Reject);
+        match tripped {
+            Err(MoistError::Backpressure { shard, depth }) => {
+                assert_eq!(depth, 5);
+                assert!(cluster.shard_ids().contains(&shard));
+            }
+            other => panic!("expected typed backpressure, got {other:?}"),
+        }
+        let is = cluster.ingest_stats();
+        assert_eq!(is.backpressure, 1);
+        assert_eq!(is.overload_shed, 0);
+        // The rejected message was never accepted; everything accepted
+        // (4 batched + 1 straggler) applied.
+        assert_eq!(cluster.stats().updates, 5);
+        assert_eq!(is.queued, 0);
+        assert_eq!(
+            cluster
+                .cluster_stats(Timestamp::ZERO)
+                .shed_or_backpressure(),
+            1
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_under_the_shed_policy() {
+        let (cluster, tripped) = provoke_full_queue(BackpressurePolicy::Shed);
+        match tripped {
+            Ok(SubmitOutcome::ShedOverload { shard }) => {
+                assert!(cluster.shard_ids().contains(&shard));
+            }
+            other => panic!("expected an overload shed, got {other:?}"),
+        }
+        let is = cluster.ingest_stats();
+        assert_eq!(is.overload_shed, 1);
+        assert_eq!(is.backpressure, 0);
+        assert_eq!(cluster.stats().updates, 5);
+    }
+
+    #[test]
+    fn epoch_bumps_drain_buffered_batches_to_the_new_owners() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 3)
+            .unwrap()
+            .with_ingest(IngestConfig {
+                batch_size: 1000, // nothing size-flushes: all drain-driven
+                ..IngestConfig::default()
+            });
+        // Buffer a spread of registrations, none applied yet.
+        for i in 0..32u64 {
+            let x = 20.0 + 960.0 * (i % 8) as f64 / 8.0;
+            let y = 20.0 + 960.0 * (i / 8) as f64 / 8.0;
+            cluster.submit(&msg(i, x, y, 1.0, 0.0)).unwrap();
+        }
+        assert_eq!(cluster.stats().updates, 0);
+        assert_eq!(cluster.ingest_stats().queued, 32);
+        // A join drains them — under the *new* epoch's ownership.
+        let joiner = cluster.add_shard().unwrap();
+        assert_eq!(cluster.stats().updates, 32);
+        assert_eq!(cluster.ingest_stats().queued, 0);
+        assert!(cluster.ingest_stats().drain_flushes >= 1);
+        sole_owners(&cluster);
+        // Buffer more, then kill a shard: its buffered messages re-route
+        // to the survivors instead of being lost.
+        for i in 32..48u64 {
+            let x = 20.0 + 960.0 * (i % 8) as f64 / 8.0;
+            let y = 20.0 + 960.0 * ((i / 8) % 8) as f64 / 8.0;
+            cluster.submit(&msg(i, x, y, 1.0, 1.0)).unwrap();
+        }
+        cluster.remove_shard(joiner).unwrap();
+        assert_eq!(cluster.stats().updates, 48, "zero buffered updates lost");
+        assert_eq!(cluster.ingest_stats().queued, 0);
+        sole_owners(&cluster);
+        // Every buffered object is really in the store.
+        for i in [0u64, 31, 32, 47] {
+            assert!(cluster
+                .position(ObjectId(i), Timestamp::from_secs(2))
+                .unwrap()
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn cluster_update_batch_groups_by_owner_and_keeps_order() {
+        let store = Bigtable::new();
+        let cluster = MoistCluster::new(&store, MoistConfig::default(), 4).unwrap();
+        let mut msgs = Vec::new();
+        for i in 0..24u64 {
+            let x = 15.0 + 970.0 * (i % 6) as f64 / 6.0;
+            let y = 15.0 + 970.0 * (i / 6) as f64 / 6.0;
+            msgs.push(msg(i, x, y, 1.0, 0.0));
+        }
+        let outcomes = cluster.update_batch(&msgs).unwrap();
+        assert_eq!(outcomes.len(), msgs.len());
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, UpdateOutcome::Registered)));
+        assert_eq!(cluster.stats().updates, 24);
+        // Routed like the synchronous path: only owners saw their cells.
+        for (i, m) in msgs.iter().enumerate() {
+            let pos = cluster.shard_for_point(&m.loc);
+            let upd = cluster.with_shard(pos, |s| s.stats().updates).unwrap();
+            assert!(upd > 0, "message {i} must have landed on shard {pos}");
+        }
     }
 }

@@ -20,6 +20,17 @@ pub enum MoistError {
     /// removing the last live shard). Failover code paths match on this
     /// instead of aborting on an index panic.
     NoSuchShard(String),
+    /// A submission hit a full ingestion queue under
+    /// [`BackpressurePolicy::Reject`](crate::BackpressurePolicy::Reject).
+    /// The update was **not** accepted: the client owns the retry. `shard`
+    /// is the stable shard id the update routed to and `depth` the queue
+    /// depth observed at rejection time.
+    Backpressure {
+        /// Stable id of the shard whose queue was full.
+        shard: u64,
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for MoistError {
@@ -30,6 +41,12 @@ impl fmt::Display for MoistError {
             MoistError::Inconsistent(msg) => write!(f, "inconsistent state: {msg}"),
             MoistError::Config(msg) => write!(f, "bad configuration: {msg}"),
             MoistError::NoSuchShard(msg) => write!(f, "no such shard: {msg}"),
+            MoistError::Backpressure { shard, depth } => {
+                write!(
+                    f,
+                    "backpressure: ingest queue for shard {shard} full at depth {depth}"
+                )
+            }
         }
     }
 }
@@ -63,5 +80,18 @@ mod tests {
         assert!(e.to_string().contains("unknown table"));
         assert!(e.source().is_some());
         assert!(MoistError::Codec("bad").source().is_none());
+    }
+
+    #[test]
+    fn backpressure_names_the_shard_and_depth() {
+        let e = MoistError::Backpressure {
+            shard: 7,
+            depth: 256,
+        };
+        let s = e.to_string();
+        assert!(s.contains("shard 7"), "{s}");
+        assert!(s.contains("depth 256"), "{s}");
+        use std::error::Error;
+        assert!(e.source().is_none());
     }
 }

@@ -17,7 +17,10 @@
 //! * [`cluster_tier`] — the sharded multi-server tier: N servers over one
 //!   store, routing and clustering partitioned by rendezvous-hashed cell
 //!   ownership over an epoch-stamped membership, with live shard
-//!   join/leave (§4.3.3).
+//!   join/leave (§4.3.3);
+//! * [`ingest`] — the batched, pipelined ingestion tier: bounded per-shard
+//!   submission queues with size/deadline flush and typed backpressure,
+//!   feeding the batched apply path (§4.1's batch-write discount).
 //!
 //! ```
 //! use moist_bigtable::{Bigtable, Timestamp};
@@ -48,6 +51,7 @@ pub mod error;
 pub mod flag;
 pub mod hexgrid;
 pub mod ids;
+pub mod ingest;
 pub mod load;
 pub mod nn;
 pub mod query_pool;
@@ -70,6 +74,7 @@ pub use error::{MoistError, Result};
 pub use flag::{FlagStats, FlagTuner};
 pub use hexgrid::{HexBin, HexGrid};
 pub use ids::ObjectId;
+pub use ingest::{BackpressurePolicy, IngestConfig, IngestStats, SubmitOutcome};
 pub use load::{CellRates, LoadTracker};
 pub use nn::{
     merge_ring_partials, nn_candidate_ring, nn_partial_scan, nn_query, Neighbor, NnCandidate,
@@ -82,5 +87,5 @@ pub use region::{
 };
 pub use school::{estimated_location, within_school};
 pub use server::{MoistServer, ServerStats};
-pub use tables::{MoistTables, SpatialEntry};
-pub use update::{apply_update, UpdateMessage, UpdateOutcome};
+pub use tables::{MoistTables, SpatialEntry, WriteBatch};
+pub use update::{apply_update, apply_update_batch, UpdateMessage, UpdateOutcome};

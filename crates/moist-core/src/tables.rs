@@ -435,6 +435,108 @@ impl MoistTables {
             .collect()
     }
 
+    /// Batch-fetches L/F records *with their head timestamps* — the
+    /// batched apply path's variant of [`batch_lf`](Self::batch_lf). The
+    /// head timestamp lets the batch clamp a deferred superseding L/F
+    /// write locally (the same rule as
+    /// [`lf_supersede_ts`](Self::lf_supersede_ts)) without a per-row
+    /// re-read, valid because the batch holds the routing key's shard
+    /// lock and the cross-shard writers that could move the head are
+    /// excluded by the spatial-row guard it wins first.
+    pub fn batch_lf_versions(
+        &self,
+        s: &mut Session,
+        oids: &[ObjectId],
+    ) -> Result<Vec<Option<(Timestamp, LfRecord)>>> {
+        let keys: Vec<RowKey> = oids.iter().map(|o| RowKey::from_u64(o.0)).collect();
+        let rows = s.batch_get(
+            &self.affiliation,
+            &keys,
+            &ReadOptions::latest_in(cols::LF_MEM),
+        )?;
+        rows.into_iter()
+            .map(|row| match row {
+                None => Ok(None),
+                Some(r) => match r.latest(cols::LF_MEM, cols::LF_Q) {
+                    None => Ok(None),
+                    Some(cell) => Ok(Some((cell.ts, LfRecord::decode(&cell.value)?))),
+                },
+            })
+            .collect()
+    }
+
+    /// Batch-fetches the raw spatial-row values of many `(leaf, oid)`
+    /// entries at once — the batched apply path's prefetch for guarded
+    /// cross-cell moves. The returned bytes are exactly what a subsequent
+    /// `check_and_mutate` must present as its expected value.
+    pub fn batch_spatial_values(
+        &self,
+        s: &mut Session,
+        entries: &[(u64, ObjectId)],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let keys: Vec<RowKey> = entries
+            .iter()
+            .map(|&(leaf, oid)| Self::spatial_key(leaf, oid))
+            .collect();
+        let rows = s.batch_get(&self.spatial, &keys, &ReadOptions::latest_in(cols::SPATIAL))?;
+        Ok(rows
+            .into_iter()
+            .map(|row| {
+                row.and_then(|r| {
+                    r.latest(cols::SPATIAL, cols::SPATIAL_Q)
+                        .map(|cell| cell.value.to_vec())
+                })
+            })
+            .collect())
+    }
+
+    /// Atomically deletes the spatial row `(leaf, oid)` *only if* it still
+    /// holds exactly `expected` — the batched apply path's half of
+    /// [`spatial_move_guarded`](Self::spatial_move_guarded), with the
+    /// current-value read amortized into a prior
+    /// [`batch_spatial_values`](Self::batch_spatial_values) prefetch.
+    /// Returns `false` when the row is gone or changed (a clustering
+    /// merge won the race); the caller must then skip the superseded
+    /// spatial rewrite.
+    pub fn spatial_check_and_delete_value(
+        &self,
+        s: &mut Session,
+        leaf_index: u64,
+        oid: ObjectId,
+        expected: &[u8],
+    ) -> Result<bool> {
+        Ok(s.check_and_mutate(
+            &self.spatial,
+            &Self::spatial_key(leaf_index, oid),
+            cols::SPATIAL,
+            cols::SPATIAL_Q,
+            Some(expected),
+            &[Mutation::DeleteRow],
+        )?)
+    }
+
+    /// Applies a deferred [`WriteBatch`]: at most one multi-row RPC per
+    /// touched table, so the store's batch discount (rpc base charged
+    /// once per table, per-row cost at batch rates) is actually
+    /// exercised. Returns the number of rows written and leaves the
+    /// batch empty.
+    pub fn flush_write_batch(&self, s: &mut Session, wb: &mut WriteBatch) -> Result<usize> {
+        let mut rows = 0;
+        if !wb.location.is_empty() {
+            rows += s.mutate_rows(&self.location, &wb.location)?;
+            wb.location.clear();
+        }
+        if !wb.spatial.is_empty() {
+            rows += s.mutate_rows(&self.spatial, &wb.spatial)?;
+            wb.spatial.clear();
+        }
+        if !wb.affiliation.is_empty() {
+            rows += s.mutate_rows(&self.affiliation, &wb.affiliation)?;
+            wb.affiliation.clear();
+        }
+        Ok(rows)
+    }
+
     /// Writes the L/F record of `oid`. The write lands at a clamped
     /// timestamp ([`lf_supersede_ts`](Self::lf_supersede_ts)): an L/F
     /// write always supersedes the current record, even when the writer's
@@ -652,6 +754,88 @@ impl MoistTables {
     }
 }
 
+/// A deferred write buffer for the batched apply path: plain (unguarded)
+/// row writes accumulate here and land later via
+/// [`MoistTables::flush_write_batch`] as one multi-row RPC per table.
+///
+/// Only writes whose rows no concurrent actor can touch may be deferred —
+/// the batch holds the routing key's shard lock, every buffered row is
+/// keyed by an OID this batch owns exclusively (enforced by the caller's
+/// dirty-set), and guarded check-and-mutate commits (the cross-shard
+/// mutual-exclusion points) are never buffered. Deferral therefore
+/// reorders only writes to disjoint rows, and every mutation carries its
+/// own explicit timestamp, so the final store state is identical to the
+/// synchronous path's.
+#[derive(Debug, Default)]
+pub struct WriteBatch {
+    location: Vec<RowMutation>,
+    spatial: Vec<RowMutation>,
+    affiliation: Vec<RowMutation>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.location.is_empty() && self.spatial.is_empty() && self.affiliation.is_empty()
+    }
+
+    /// Number of row mutations currently buffered across all tables.
+    pub fn rows(&self) -> usize {
+        self.location.len() + self.spatial.len() + self.affiliation.len()
+    }
+
+    /// Defers [`MoistTables::put_location`].
+    pub fn put_location(&mut self, oid: ObjectId, rec: &LocationRecord, ts: Timestamp) {
+        self.location.push(RowMutation::new(
+            RowKey::from_u64(oid.0),
+            vec![Mutation::put(
+                cols::LOC_MEM,
+                cols::LOC_Q,
+                ts,
+                rec.encode().to_vec(),
+            )],
+        ));
+    }
+
+    /// Defers [`MoistTables::spatial_insert`] (also the same-leaf refresh
+    /// half of `spatial_move` — a plain overwrite of the row this batch's
+    /// shard lock already serializes against the cell's clustering).
+    pub fn spatial_insert(
+        &mut self,
+        leaf_index: u64,
+        oid: ObjectId,
+        rec: &LocationRecord,
+        ts: Timestamp,
+    ) {
+        self.spatial.push(RowMutation::new(
+            RowKey::composite(leaf_index, oid.0),
+            vec![Mutation::put(
+                cols::SPATIAL,
+                cols::SPATIAL_Q,
+                ts,
+                rec.encode().to_vec(),
+            )],
+        ));
+    }
+
+    /// Defers an L/F write landing at exactly `ts`. The caller is
+    /// responsible for supersede-clamping: pass the raw report time for a
+    /// first-sight registration (no head version exists) or a timestamp
+    /// already clamped past the prefetched head (see
+    /// [`MoistTables::batch_lf_versions`]).
+    pub fn set_lf_at(&mut self, oid: ObjectId, lf: &LfRecord, ts: Timestamp) {
+        self.affiliation.push(RowMutation::new(
+            RowKey::from_u64(oid.0),
+            vec![Mutation::put(cols::LF_MEM, cols::LF_Q, ts, lf.encode())],
+        ));
+    }
+}
+
 /// One decoded Spatial Index Table row.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpatialEntry {
@@ -845,6 +1029,52 @@ mod tests {
             .unwrap();
         assert_eq!(fols[0].len(), 1);
         assert!(fols[1].is_empty());
+    }
+
+    #[test]
+    fn write_batch_flush_lands_identical_rows() {
+        let (_store, t, mut s) = setup();
+        let r = rec(10.0, 20.0, 3);
+        let mut wb = WriteBatch::new();
+        assert!(wb.is_empty());
+        wb.put_location(ObjectId(1), &r, Timestamp(5));
+        wb.spatial_insert(3, ObjectId(1), &r, Timestamp(5));
+        wb.set_lf_at(
+            ObjectId(1),
+            &LfRecord::Leader {
+                since_us: 5,
+                last_leaf: 3,
+            },
+            Timestamp(5),
+        );
+        assert_eq!(wb.rows(), 3);
+        let written = t.flush_write_batch(&mut s, &mut wb).unwrap();
+        assert_eq!(written, 3);
+        assert!(wb.is_empty(), "flush must leave the batch reusable");
+        // The rows read back exactly as the synchronous writers would
+        // have left them.
+        let (ts, got) = t.latest_location(&mut s, ObjectId(1)).unwrap().unwrap();
+        assert_eq!((ts, got.loc), (Timestamp(5), r.loc));
+        assert!(t.lf(&mut s, ObjectId(1)).unwrap().unwrap().is_leader());
+        let heads = t
+            .batch_lf_versions(&mut s, &[ObjectId(1), ObjectId(9)])
+            .unwrap();
+        assert_eq!(heads[0].as_ref().unwrap().0, Timestamp(5));
+        assert!(heads[1].is_none());
+        let vals = t
+            .batch_spatial_values(&mut s, &[(3, ObjectId(1)), (4, ObjectId(1))])
+            .unwrap();
+        assert_eq!(vals[0].as_deref(), Some(r.encode().as_ref()));
+        assert!(vals[1].is_none());
+        // The guarded delete against the prefetched value wins exactly
+        // once.
+        let expected = vals[0].clone().unwrap();
+        assert!(t
+            .spatial_check_and_delete_value(&mut s, 3, ObjectId(1), &expected)
+            .unwrap());
+        assert!(!t
+            .spatial_check_and_delete_value(&mut s, 3, ObjectId(1), &expected)
+            .unwrap());
     }
 
     #[test]

@@ -11,9 +11,10 @@ use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
 use crate::school::within_school;
-use crate::tables::MoistTables;
+use crate::tables::{MoistTables, WriteBatch};
 use moist_bigtable::{Session, Timestamp};
 use moist_spatial::{Point, Velocity};
+use std::collections::{HashMap, HashSet};
 
 /// One location update from a mobile client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +171,258 @@ pub fn apply_update(
             }
         };
     }
+}
+
+/// Applies Algorithm 1 to a whole batch of messages, amortizing store
+/// round-trips across the batch. Semantically equivalent to running
+/// [`apply_update`] message by message in order; the store ends in the
+/// same state and the returned outcomes align with `msgs`.
+///
+/// The amortization has two halves:
+///
+/// * **prefetch** — one batched affiliation read classifies every
+///   distinct OID, one batched Location read serves every follower's
+///   shed test, and one batched spatial read arms the cross-cell move
+///   guards. Each replaces a per-message point read (rpc base charged
+///   per row) with a scan-rate batch row.
+/// * **deferral** — plain row writes (registrations, Location appends,
+///   same-leaf spatial refreshes) accumulate in a [`WriteBatch`] and
+///   land as one multi-row RPC per table at the end.
+///
+/// Correctness rests on a *dirty set*: once the batch writes (or
+/// defers a write for) an OID, every later message touching that OID —
+/// or a follower whose leader is that OID — flushes the deferred
+/// writes and falls back to the synchronous [`apply_update`], so no
+/// decision is ever made against a prefetched value the batch itself
+/// has superseded. Guarded commits (cross-cell spatial moves, follower
+/// promotions) stay synchronous: they are the mutual-exclusion points
+/// against clustering merges on other shards and cannot be reordered.
+///
+/// Every message is validated up front, so a malformed message fails
+/// the whole batch *before* any store write — callers can reject the
+/// batch without partial application.
+pub fn apply_update_batch(
+    s: &mut Session,
+    tables: &MoistTables,
+    cfg: &MoistConfig,
+    msgs: &[UpdateMessage],
+) -> Result<Vec<UpdateOutcome>> {
+    for msg in msgs {
+        if !msg.loc.is_finite() || !msg.vel.is_finite() {
+            return Err(MoistError::Inconsistent(format!(
+                "non-finite update for {}",
+                msg.oid
+            )));
+        }
+    }
+    if msgs.len() <= 1 {
+        // Nothing to amortize: the prefetches would cost more than the
+        // point reads they replace.
+        return msgs
+            .iter()
+            .map(|m| apply_update(s, tables, cfg, m))
+            .collect();
+    }
+
+    // Phase 1: classify every distinct OID with one batched affiliation
+    // read (head timestamps included, for local supersede-clamping of
+    // deferred L/F writes).
+    let mut uniq: Vec<ObjectId> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    for msg in msgs {
+        if seen.insert(msg.oid.0) {
+            uniq.push(msg.oid);
+        }
+    }
+    let lf_heads = tables.batch_lf_versions(s, &uniq)?;
+    let lf_of: HashMap<u64, Option<(Timestamp, LfRecord)>> = uniq
+        .iter()
+        .zip(lf_heads)
+        .map(|(oid, head)| (oid.0, head))
+        .collect();
+
+    // Phase 2: prefetch what the classified messages will read — the
+    // leaders' latest locations (every follower's shed test) and the
+    // old spatial rows of cross-cell-moving leaders (the guard's
+    // expected values). First occurrence per OID decides; later
+    // occurrences hit the dirty-set fallback anyway.
+    let mut leader_oids: Vec<ObjectId> = Vec::new();
+    let mut leader_seen: HashSet<u64> = HashSet::new();
+    let mut move_keys: Vec<(u64, ObjectId)> = Vec::new();
+    let mut move_seen: HashSet<u64> = HashSet::new();
+    for msg in msgs {
+        match lf_of.get(&msg.oid.0) {
+            Some(Some((_, LfRecord::Follower { leader, .. }))) if leader_seen.insert(leader.0) => {
+                leader_oids.push(*leader);
+            }
+            Some(Some((_, LfRecord::Leader { last_leaf, .. }))) => {
+                let new_leaf = cfg.space.leaf_cell(&msg.loc).index;
+                if new_leaf != *last_leaf && move_seen.insert(msg.oid.0) {
+                    move_keys.push((*last_leaf, msg.oid));
+                }
+            }
+            _ => {}
+        }
+    }
+    let leader_locs: HashMap<u64, Option<(Timestamp, LocationRecord)>> = if leader_oids.is_empty() {
+        HashMap::new()
+    } else {
+        leader_oids
+            .iter()
+            .zip(tables.batch_latest_locations(s, &leader_oids)?)
+            .map(|(oid, loc)| (oid.0, loc))
+            .collect()
+    };
+    let move_vals: HashMap<u64, Option<Vec<u8>>> = if move_keys.is_empty() {
+        HashMap::new()
+    } else {
+        move_keys
+            .iter()
+            .zip(tables.batch_spatial_values(s, &move_keys)?)
+            .map(|(&(_, oid), val)| (oid.0, val))
+            .collect()
+    };
+
+    // Phase 3: apply in message order. Deferrable writes go to `wb`;
+    // anything touching an already-written OID flushes and falls back
+    // to the synchronous path.
+    let mut wb = WriteBatch::new();
+    let mut dirty: HashSet<u64> = HashSet::new();
+    let mut out = Vec::with_capacity(msgs.len());
+    for msg in msgs {
+        let new_leaf = cfg.space.leaf_cell(&msg.loc).index;
+        let record = LocationRecord {
+            loc: msg.loc,
+            vel: msg.vel,
+            leaf_index: new_leaf,
+        };
+        // The prefetched snapshot is valid only while this batch has not
+        // written the rows it describes.
+        let fallback = dirty.contains(&msg.oid.0)
+            || match lf_of.get(&msg.oid.0) {
+                Some(Some((_, LfRecord::Follower { leader, .. }))) => {
+                    dirty.contains(&leader.0)
+                        || !matches!(leader_locs.get(&leader.0), Some(Some(_)))
+                }
+                _ => false,
+            };
+        if fallback {
+            if !wb.is_empty() {
+                tables.flush_write_batch(s, &mut wb)?;
+            }
+            let outcome = apply_update(s, tables, cfg, msg)?;
+            dirty.insert(msg.oid.0);
+            out.push(outcome);
+            continue;
+        }
+        let outcome = match lf_of.get(&msg.oid.0).and_then(|h| h.as_ref()) {
+            None => {
+                // First sight: no head version exists, so the deferred
+                // L/F write lands at the raw report time unclamped.
+                wb.set_lf_at(
+                    msg.oid,
+                    &LfRecord::Leader {
+                        since_us: msg.ts.0,
+                        last_leaf: new_leaf,
+                    },
+                    msg.ts,
+                );
+                wb.put_location(msg.oid, &record, msg.ts);
+                wb.spatial_insert(new_leaf, msg.oid, &record, msg.ts);
+                dirty.insert(msg.oid.0);
+                UpdateOutcome::Registered
+            }
+            Some((
+                head_ts,
+                LfRecord::Leader {
+                    since_us,
+                    last_leaf,
+                },
+            )) => {
+                wb.put_location(msg.oid, &record, msg.ts);
+                if *last_leaf == new_leaf {
+                    // Same routing key as the cell's clustering — the
+                    // shard lock this batch holds serializes them, so
+                    // the plain refresh can be deferred.
+                    wb.spatial_insert(new_leaf, msg.oid, &record, msg.ts);
+                } else {
+                    // Cross-cell move: commit the guarded delete now
+                    // (it is the mutual-exclusion point against the old
+                    // cell's merge on another shard), with the expected
+                    // value amortized into the phase-2 prefetch. Losing
+                    // means a merge absorbed the object: skip the
+                    // superseded rewrite, exactly like the sync path.
+                    let won = match move_vals.get(&msg.oid.0).and_then(|v| v.as_deref()) {
+                        None => false,
+                        Some(expected) => tables
+                            .spatial_check_and_delete_value(s, *last_leaf, msg.oid, expected)?,
+                    };
+                    if won {
+                        wb.spatial_insert(new_leaf, msg.oid, &record, msg.ts);
+                        // Supersede-clamp locally against the prefetched
+                        // head: no other actor can move this row's head
+                        // while the batch holds the key's shard lock and
+                        // the spatial guard has been won.
+                        let lf_ts = if *head_ts >= msg.ts {
+                            Timestamp(head_ts.0 + 1)
+                        } else {
+                            msg.ts
+                        };
+                        wb.set_lf_at(
+                            msg.oid,
+                            &LfRecord::Leader {
+                                since_us: *since_us,
+                                last_leaf: new_leaf,
+                            },
+                            lf_ts,
+                        );
+                    }
+                }
+                dirty.insert(msg.oid.0);
+                UpdateOutcome::LeaderUpdated
+            }
+            Some((
+                _,
+                LfRecord::Follower {
+                    leader,
+                    displacement,
+                    ..
+                },
+            )) => {
+                let (leader_ts, leader_rec) = leader_locs
+                    .get(&leader.0)
+                    .and_then(|l| l.as_ref())
+                    .expect("missing leader location routed to fallback above");
+                if within_school(
+                    leader_rec,
+                    *leader_ts,
+                    *displacement,
+                    &msg.loc,
+                    msg.ts,
+                    cfg.epsilon,
+                ) {
+                    // Shed: zero writes, so the prefetched snapshot for
+                    // this OID stays valid — no dirty mark.
+                    UpdateOutcome::Shed
+                } else {
+                    // Departure: the promotion is a guarded L/F commit
+                    // racing clustering merges — flush and take the
+                    // synchronous path end to end.
+                    if !wb.is_empty() {
+                        tables.flush_write_batch(s, &mut wb)?;
+                    }
+                    let outcome = apply_update(s, tables, cfg, msg)?;
+                    dirty.insert(msg.oid.0);
+                    outcome
+                }
+            }
+        };
+        out.push(outcome);
+    }
+    if !wb.is_empty() {
+        tables.flush_write_batch(s, &mut wb)?;
+    }
+    Ok(out)
 }
 
 /// Lines 10–13 of Algorithm 1: remove the follower from its old school (if
@@ -410,6 +663,108 @@ mod tests {
         let out = apply_update(&mut s, &t, &cfg, &msg(2, 50.0, 50.0, 0.0, 1)).unwrap();
         assert_eq!(out, UpdateOutcome::Registered);
         assert!(t.lf(&mut s, ObjectId(2)).unwrap().unwrap().is_leader());
+    }
+
+    /// The batched apply is a pure optimization: same outcomes, same
+    /// final table state as replaying the messages synchronously. The
+    /// mix below exercises every branch — registration, leader moves,
+    /// shed, departure, and dirty-set fallbacks (repeat OIDs and a
+    /// follower whose leader updated earlier in the same batch).
+    #[test]
+    fn batch_apply_matches_synchronous_outcomes_and_state() {
+        let (_st1, t1, mut s1, cfg) = setup(5.0);
+        let (_st2, t2, mut s2, _) = setup(5.0);
+        build_school(&t1, &mut s1, &cfg);
+        build_school(&t2, &mut s2, &cfg);
+        let batch = vec![
+            msg(3, 200.0, 200.0, 1.0, 1),  // first sight: register
+            msg(1, 101.0, 100.0, 1.0, 2),  // leader move (dirties 1)
+            msg(2, 111.0, 102.0, 1.0, 10), // follower of dirty leader: fallback, shed
+            msg(1, 600.0, 600.0, 1.0, 12), // dirty OID: fallback, cross-cell move
+            msg(2, 900.0, 102.0, 1.0, 14), // departure
+            msg(3, 205.0, 200.0, 1.0, 15), // dirty OID: fallback leader move
+        ];
+        let sync: Vec<UpdateOutcome> = batch
+            .iter()
+            .map(|m| apply_update(&mut s1, &t1, &cfg, m).unwrap())
+            .collect();
+        let batched = apply_update_batch(&mut s2, &t2, &cfg, &batch).unwrap();
+        assert_eq!(sync, batched);
+        assert!(matches!(batched[2], UpdateOutcome::Shed));
+        assert!(matches!(batched[4], UpdateOutcome::Departed { .. }));
+        for oid in [1u64, 2, 3] {
+            assert_eq!(
+                t1.lf(&mut s1, ObjectId(oid)).unwrap(),
+                t2.lf(&mut s2, ObjectId(oid)).unwrap(),
+                "L/F record of {oid} must match the sync replay"
+            );
+            assert_eq!(
+                t1.latest_location(&mut s1, ObjectId(oid))
+                    .unwrap()
+                    .map(|(_, r)| r),
+                t2.latest_location(&mut s2, ObjectId(oid))
+                    .unwrap()
+                    .map(|(_, r)| r),
+                "latest location of {oid} must match the sync replay"
+            );
+        }
+        // Spatial index converged identically: each live leader filed
+        // under the same cell on both stores.
+        for p in [
+            Point::new(600.0, 600.0),
+            Point::new(900.0, 102.0),
+            Point::new(205.0, 200.0),
+        ] {
+            let cc = cfg.space.cell_at(cfg.clustering_level, &p);
+            assert_eq!(
+                t1.spatial_count_cell(&mut s1, cc, cfg.space.leaf_level)
+                    .unwrap(),
+                t2.spatial_count_cell(&mut s2, cc, cfg.space.leaf_level)
+                    .unwrap()
+            );
+        }
+    }
+
+    /// A batch that is pure steady-state traffic (sheds + same-leaf
+    /// leader refreshes) must write strictly fewer, batched ops than
+    /// the synchronous replay — the whole point of the pipeline.
+    #[test]
+    fn batch_apply_sheds_without_writes_and_batches_the_rest() {
+        let (st, t, mut s, cfg) = setup(5.0);
+        build_school(&t, &mut s, &cfg);
+        let before = st.metrics_snapshot();
+        let batch = vec![
+            msg(2, 111.0, 102.0, 1.0, 10), // shed
+            msg(2, 112.0, 102.0, 1.0, 11), // shed again (not dirty: no writes)
+        ];
+        let out = apply_update_batch(&mut s, &t, &cfg, &batch).unwrap();
+        assert_eq!(out, vec![UpdateOutcome::Shed, UpdateOutcome::Shed]);
+        let after = st.metrics_snapshot();
+        assert_eq!(
+            after.write_ops + after.batch_ops,
+            before.write_ops + before.batch_ops,
+            "an all-shed batch must not write"
+        );
+    }
+
+    #[test]
+    fn batch_apply_rejects_bad_messages_before_writing_anything() {
+        let (st, t, mut s, cfg) = setup(5.0);
+        let bad = UpdateMessage {
+            oid: ObjectId(9),
+            loc: Point::new(f64::NAN, 0.0),
+            vel: Velocity::ZERO,
+            ts: Timestamp::ZERO,
+        };
+        let before = st.metrics_snapshot();
+        let batch = vec![msg(1, 100.0, 100.0, 1.0, 0), bad];
+        assert!(apply_update_batch(&mut s, &t, &cfg, &batch).is_err());
+        let after = st.metrics_snapshot();
+        assert_eq!(
+            after.write_ops + after.batch_ops,
+            before.write_ops + before.batch_ops,
+            "validation must fail the batch before any store write"
+        );
     }
 
     #[test]

@@ -34,12 +34,21 @@
 //!    members of a replica set: a leave promotes the next-ranked member in
 //!    place, a join can only insert the joiner (possibly displacing the
 //!    tail) — the property instant follower promotion rests on.
+//!
+//! The pipelined ingestion layer extends it again (same suite):
+//!
+//! 10. **epoch-crossing flush** — a batch enqueued under epoch E and
+//!     drained by a join or leave under epoch E+1 lands every update on
+//!     its key's *current* rank-0 primary exactly once: enqueue-time
+//!     routing is advisory, apply-time routing is authoritative.
 
+use moist_bigtable::{Bigtable, Timestamp};
 use moist_core::{
     rendezvous_owner, rendezvous_owners, slice_ranges_by_owner, slice_ranges_by_placement,
-    weighted_rendezvous_owner, weighted_rendezvous_owners, ClusterScheduler, MoistConfig,
-    ShardWeight, SplitTable,
+    weighted_rendezvous_owner, weighted_rendezvous_owners, ClusterScheduler, IngestConfig,
+    MoistCluster, MoistConfig, ObjectId, ShardWeight, SplitTable, SubmitOutcome, UpdateMessage,
 };
+use moist_spatial::{Point, Velocity};
 use proptest::prelude::*;
 
 /// A membership of 1–12 distinct shard ids drawn from a wide id space
@@ -489,5 +498,68 @@ proptest! {
                 "key {}: join reordered incumbents ({:?} -> {:?})", key, before, after_join
             );
         }
+    }
+
+    #[test]
+    fn epoch_crossing_flushes_land_once_on_the_current_primary(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("epoch_cross_flush", seed);
+        let store = Bigtable::new();
+        let shards = 2 + rng.below(4) as usize; // 2..=5 live shards
+        let cluster = MoistCluster::new(&store, MoistConfig::default(), shards)
+            .unwrap()
+            .with_ingest(IngestConfig {
+                batch_size: 4096, // nothing size-flushes: only the epoch bump drains
+                ..IngestConfig::default()
+            });
+
+        // Enqueue a randomized spread of registrations under epoch E.
+        let n = 24 + rng.below(25) as usize; // 24..=48
+        let mut msgs = Vec::with_capacity(n);
+        for i in 0..n {
+            let m = UpdateMessage {
+                oid: ObjectId(i as u64),
+                loc: Point::new(5.0 + rng.below(991) as f64, 5.0 + rng.below(991) as f64),
+                vel: Velocity::new(1.0, 0.0),
+                ts: Timestamp::from_secs(1),
+            };
+            prop_assert!(matches!(
+                cluster.submit(&m).unwrap(),
+                SubmitOutcome::Enqueued { .. }
+            ));
+            msgs.push(m);
+        }
+        let epoch_before = cluster.epoch();
+        prop_assert_eq!(cluster.stats().updates, 0, "nothing may apply before the flush");
+        prop_assert_eq!(cluster.ingest_stats().queued, n as u64);
+
+        // Cross an epoch: a join or a leave, either of which publishes the
+        // new membership *first* and then drains the queues under it.
+        if rng.below(2) == 0 {
+            cluster.add_shard().unwrap();
+        } else {
+            let ids = cluster.shard_ids();
+            let victim = ids[rng.below(ids.len() as u64) as usize];
+            cluster.remove_shard(victim).unwrap();
+        }
+        prop_assert_eq!(cluster.epoch(), epoch_before + 1);
+
+        // Exactly once: every buffered update applied, none left, none doubled.
+        let is = cluster.ingest_stats();
+        prop_assert_eq!(is.queued, 0);
+        prop_assert_eq!(is.flushed_updates, n as u64);
+        prop_assert!(is.drain_flushes >= 1);
+        prop_assert_eq!(is.backpressure + is.overload_shed, 0);
+        prop_assert_eq!(cluster.stats().updates, n as u64);
+
+        // ...and every one landed on its key's *current* rank-0 primary:
+        // per-shard counters match the counts predicted by post-bump
+        // routing, shard by shard (a departed victim absorbed nothing, so
+        // the live shards account for the whole batch).
+        let mut predicted = vec![0u64; cluster.shard_ids().len()];
+        for m in &msgs {
+            predicted[cluster.shard_for_point(&m.loc)] += 1;
+        }
+        let live: Vec<u64> = cluster.shard_stats().iter().map(|s| s.updates).collect();
+        prop_assert_eq!(live, predicted);
     }
 }

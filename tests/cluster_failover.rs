@@ -16,7 +16,9 @@
 //!   a typed [`MoistError::NoSuchShard`], never an index panic.
 
 use moist::bigtable::{Bigtable, Timestamp};
-use moist::core::{MoistCluster, MoistConfig, MoistError, ObjectId, UpdateMessage};
+use moist::core::{
+    IngestConfig, MoistCluster, MoistConfig, MoistError, ObjectId, SubmitOutcome, UpdateMessage,
+};
 use moist::spatial::{cells_at_level, Point, Rect};
 use moist::workload::{ClientPool, RoadMap, RoadMapConfig, RoadNetSim, SimConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -469,6 +471,181 @@ fn replicated_tier_promotes_followers_through_a_shard_kill_without_downtime() {
         nn.len(),
         "replica reads must not duplicate objects"
     );
+}
+
+/// The ingestion pipeline under failure: 8 workers [`submit`] through the
+/// per-shard queues (batch flushes, deadline flushes) and worker 0 kills a
+/// shard at a moment its queues are provably **non-empty**. The PR 6
+/// failover contract must hold for *acknowledged* submissions exactly as
+/// it does for synchronous updates: the kill's drain re-routes every
+/// buffered message to the survivors (zero lost acknowledged updates),
+/// ownership stays an exact partition, and queries answer on every tick.
+///
+/// [`submit`]: MoistCluster::submit
+#[test]
+fn shard_kill_with_nonempty_queues_drains_without_losing_acked_updates() {
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let cluster = MoistCluster::new(&store, cfg, SHARDS)
+        .unwrap()
+        .with_ingest(IngestConfig {
+            batch_size: 32,
+            flush_deadline_secs: 5.0,
+            ..IngestConfig::default()
+        });
+    let victim = *cluster.shard_ids().last().unwrap();
+
+    let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
+        .map(|i| {
+            Mutex::new(RoadNetSim::new(
+                RoadMap::new(RoadMapConfig::default()),
+                SimConfig {
+                    agents: 100,
+                    seed: 13_000 + i as u64,
+                    ..SimConfig::default()
+                },
+            ))
+        })
+        .collect();
+
+    let killed = AtomicBool::new(false);
+    let queued_at_kill = AtomicU64::new(0);
+
+    let acked: Vec<u64> = ClientPool::run(WORKERS, |i| {
+        let mut sim = sims[i].lock().expect("sim lock");
+        let oid_base = i as u64 * 1_000_000;
+        let mut count = 0u64;
+        let mut t = 0.0;
+        while t < END_SECS {
+            t = (t + 5.0).min(END_SECS);
+            for u in sim.advance_until(t) {
+                let outcome = cluster
+                    .submit(&UpdateMessage {
+                        oid: ObjectId(oid_base + u.oid),
+                        loc: u.loc,
+                        vel: u.vel,
+                        ts: Timestamp::from_secs_f64(u.at_secs),
+                    })
+                    .expect("submissions must keep being accepted through the kill");
+                // Enqueued/Flushed are the pipeline's acknowledgement.
+                assert!(!matches!(outcome, SubmitOutcome::ShedOverload { .. }));
+                count += 1;
+            }
+
+            // Worker 0 kills the victim with fresh submissions provably
+            // still buffered: it enqueues a burst stamped *now* (the 5 s
+            // deadline keeps every concurrent flush_due(now) hands-off)
+            // and snapshots the queue gauge in the same breath.
+            if i == 0
+                && t >= KILL_AT_SECS
+                && killed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                let mut burst = 0u64;
+                loop {
+                    for k in 0..16u64 {
+                        cluster
+                            .submit(&UpdateMessage {
+                                oid: ObjectId(oid_base + 900_000 + burst * 16 + k),
+                                loc: Point::new(30.0 + 60.0 * k as f64, 500.0),
+                                vel: moist::spatial::Velocity::ZERO,
+                                ts: Timestamp::from_secs_f64(t),
+                            })
+                            .expect("the pre-kill burst must be accepted");
+                        count += 1;
+                    }
+                    burst += 1;
+                    // A racing worker at a later virtual tick may flush
+                    // the burst out from under us; re-burst until the
+                    // gauge proves messages are buffered at kill time.
+                    let q = cluster.ingest_stats().queued;
+                    if q > 0 {
+                        queued_at_kill.store(q, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                cluster
+                    .remove_shard(victim)
+                    .expect("killing a shard with non-empty queues must succeed");
+            }
+
+            // Deadline flushing is client-driven: every worker ticks it.
+            cluster
+                .flush_due(Timestamp::from_secs_f64(t))
+                .expect("deadline flushes must keep landing through the kill");
+
+            let mut shard = i;
+            while shard < SHARDS {
+                match cluster.run_due_clustering_shard(shard, Timestamp::from_secs_f64(t)) {
+                    Ok(_) | Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("clustering tick failed: {e}"),
+                }
+                shard += WORKERS.min(SHARDS);
+            }
+
+            // Availability probes on every tick.
+            let at = Timestamp::from_secs_f64(t);
+            let probe = Point::new(100.0 + (i as f64) * 100.0, 500.0);
+            cluster
+                .nn(probe, 3, at)
+                .expect("NN must answer through the queue-drain kill");
+            cluster
+                .region(&Rect::new(250.0, 250.0, 750.0, 750.0), at, 0.0)
+                .expect("region must answer through the queue-drain kill");
+        }
+        count
+    });
+    let acked: u64 = acked.iter().sum();
+
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "worker 0 must kill the shard"
+    );
+    assert_eq!(cluster.num_shards(), SHARDS - 1);
+    assert!(
+        queued_at_kill.load(Ordering::SeqCst) > 0,
+        "the kill must have found non-empty queues"
+    );
+
+    // End-of-stream drain: whatever the last ticks left buffered applies
+    // now; afterwards nothing may remain anywhere in the pipeline.
+    cluster.drain_ingest().expect("final drain must succeed");
+    let is = cluster.ingest_stats();
+    assert_eq!(is.queued, 0, "the pipeline must end empty: {is:?}");
+    assert_eq!(
+        is.submitted, acked,
+        "every submission was acknowledged (no backpressure at this depth)"
+    );
+    assert_eq!(is.flushed_updates, acked, "every acked update was applied");
+    assert!(
+        is.drain_flushes >= 1,
+        "the kill's drain must have flushed batches: {is:?}"
+    );
+    assert_eq!(is.backpressure + is.overload_shed, 0);
+
+    // Zero lost acknowledged updates: every acked submission is accounted
+    // for by exactly one outcome on exactly one shard — including the
+    // batches buffered for the victim when it died.
+    let agg = cluster.stats();
+    assert_eq!(agg.updates, acked, "no acked update lost or double-counted");
+    assert!(agg.balanced(), "outcomes must sum to updates: {agg:?}");
+
+    // Exclusive ownership survived the drain-and-reroute.
+    common::sole_owner_positions(&cluster);
+    let cells = cells_at_level(cfg.clustering_level);
+    let sweep_at = Timestamp::from_secs_f64(END_SECS + cfg.cluster_interval_secs + 1.0);
+    let runs_before = cluster.stats().cluster_runs;
+    for shard in 0..cluster.num_shards() {
+        cluster.run_due_clustering_shard(shard, sweep_at).unwrap();
+    }
+    assert_eq!(
+        cluster.stats().cluster_runs - runs_before,
+        cells,
+        "post-kill sweep must cluster each cell exactly once"
+    );
+    let (nn, _) = cluster.nn(Point::new(500.0, 500.0), 100, sweep_at).unwrap();
+    assert!(!nn.is_empty(), "queries must survive the queue-drain kill");
 }
 
 #[test]
