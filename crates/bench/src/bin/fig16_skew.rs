@@ -158,7 +158,7 @@ fn drive(
         let now = Timestamp::from_secs(sec + 1);
         cluster.run_due_clustering(now).expect("clustering");
         if rebalance && (sec + 1) % REBALANCE_EVERY_SECS == 0 {
-            cluster.rebalance(now);
+            cluster.rebalance(now).expect("rebalance drain failed");
         }
     }
 }

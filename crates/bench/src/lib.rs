@@ -170,6 +170,9 @@ pub fn disk_btree_profile() -> CostProfile {
         batch_row_us: 10.0,
         disk_read_us: 2500.0,
         byte_us: 0.004,
+        wal_append_us: 4.0,
+        wal_fsync_us: 220.0,
+        wal_replay_us: 2.0,
     }
 }
 

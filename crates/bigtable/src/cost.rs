@@ -41,6 +41,16 @@ pub struct CostProfile {
     pub disk_read_us: f64,
     /// Transfer cost per payload byte, µs.
     pub byte_us: f64,
+    /// Appending one record to a table's write-ahead log (sequential file
+    /// write, no seek), µs. Charged only on durable stores.
+    pub wal_append_us: f64,
+    /// One explicit WAL fsync, µs. Group commit divides this by
+    /// `fsync_every`, so the charged per-write cost is the amortised
+    /// `wal_fsync_us / fsync_every`.
+    pub wal_fsync_us: f64,
+    /// Replaying one WAL record during recovery, µs (sequential read +
+    /// re-apply; used to price recovery time in `fig19_durability`).
+    pub wal_replay_us: f64,
 }
 
 impl Default for CostProfile {
@@ -54,6 +64,9 @@ impl Default for CostProfile {
             batch_row_us: 0.5,
             disk_read_us: 900.0,
             byte_us: 0.002,
+            wal_append_us: 2.0,
+            wal_fsync_us: 120.0,
+            wal_replay_us: 1.0,
         }
     }
 }
@@ -70,6 +83,9 @@ impl CostProfile {
             batch_row_us: 0.0,
             disk_read_us: 0.0,
             byte_us: 0.0,
+            wal_append_us: 0.0,
+            wal_fsync_us: 0.0,
+            wal_replay_us: 0.0,
         }
     }
 
@@ -107,6 +123,25 @@ impl CostProfile {
             + rows as f64 * self.batch_row_us
             + mutations as f64 * self.mutation_us * 0.125
             + bytes as f64 * self.byte_us
+    }
+
+    /// Durability surcharge for one write RPC that appended `bytes` WAL
+    /// bytes under an `fsync_every` cadence. The fsync is charged
+    /// amortised (group commit), keeping virtual time deterministic;
+    /// `fsync_every == 0` means "no explicit fsync" and charges none.
+    pub fn wal_write_us(&self, bytes: u64, fsync_every: u64) -> f64 {
+        let fsync = if fsync_every == 0 {
+            0.0
+        } else {
+            self.wal_fsync_us / fsync_every as f64
+        };
+        self.wal_append_us + bytes as f64 * self.byte_us + fsync
+    }
+
+    /// Cost of replaying `records` WAL records totalling `bytes` bytes
+    /// during recovery.
+    pub fn replay_us(&self, records: u64, bytes: u64) -> f64 {
+        records as f64 * self.wal_replay_us + bytes as f64 * self.byte_us
     }
 
     /// Cost of one range scan returning `rows` rows / `bytes` bytes.

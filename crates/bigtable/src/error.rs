@@ -20,6 +20,11 @@ pub enum BigtableError {
     InvalidSchema(String),
     /// A scan or mutation referenced an invalid key range (start > end).
     InvalidRange,
+    /// A write-ahead-log or snapshot operation failed: an I/O error, a
+    /// corrupt record past the tolerated torn tail, or recovery invoked
+    /// without [`Durability::Wal`](crate::Durability::Wal). The message is
+    /// stringified so the error stays `Clone + PartialEq`.
+    Wal(String),
 }
 
 impl fmt::Display for BigtableError {
@@ -32,6 +37,7 @@ impl fmt::Display for BigtableError {
             }
             BigtableError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
             BigtableError::InvalidRange => write!(f, "invalid key range: start > end"),
+            BigtableError::Wal(msg) => write!(f, "wal error: {msg}"),
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod store;
 pub mod table;
 mod tablet;
 pub mod types;
+pub mod wal;
 
 pub use cost::{CostProfile, SimClock};
 pub use error::{BigtableError, Result};
@@ -58,3 +59,4 @@ pub use session::Session;
 pub use store::{Bigtable, StoreConfig};
 pub use table::{Mutation, OwnedRow, ReadOptions, RowEntry, RowMutation, ScanRange, Table};
 pub use types::{Cell, Locality, RowKey, Timestamp};
+pub use wal::{Durability, RecoveryReport};

@@ -18,6 +18,10 @@ pub struct Metrics {
     scan_ops: AtomicU64,
     rows_scanned: AtomicU64,
     batch_ops: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_replayed: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -41,6 +45,14 @@ pub struct MetricsSnapshot {
     pub rows_scanned: u64,
     /// Batch mutate-rows RPCs issued.
     pub batch_ops: u64,
+    /// WAL records appended (one per write RPC on a durable table).
+    pub wal_appends: u64,
+    /// WAL bytes appended (frame headers + payloads).
+    pub wal_bytes: u64,
+    /// Explicit WAL fsyncs issued (paced by `fsync_every`).
+    pub wal_fsyncs: u64,
+    /// WAL records replayed during recovery.
+    pub wal_replayed: u64,
 }
 
 impl MetricsSnapshot {
@@ -56,6 +68,10 @@ impl MetricsSnapshot {
             scan_ops: self.scan_ops.saturating_sub(earlier.scan_ops),
             rows_scanned: self.rows_scanned.saturating_sub(earlier.rows_scanned),
             batch_ops: self.batch_ops.saturating_sub(earlier.batch_ops),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
+            wal_replayed: self.wal_replayed.saturating_sub(earlier.wal_replayed),
         }
     }
 
@@ -89,6 +105,17 @@ impl Metrics {
         let _ = rows;
     }
 
+    pub(crate) fn record_wal_append(&self, bytes: u64, fsynced: bool) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.wal_fsyncs
+            .fetch_add(u64::from(fsynced), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_replay(&self, records: u64) {
+        self.wal_replayed.fetch_add(records, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_scan(&self, ops: u64, rows: u64, bytes: u64) {
         self.scan_ops.fetch_add(ops, Ordering::Relaxed);
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
@@ -107,6 +134,10 @@ impl Metrics {
             scan_ops: self.scan_ops.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             batch_ops: self.batch_ops.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
         }
     }
 }

@@ -66,6 +66,16 @@ impl Session {
         self.clock.charge_us(us);
     }
 
+    /// Durability surcharge for one write RPC on `table` that logged
+    /// roughly `bytes` of mutations (plus frame overhead). Zero on
+    /// non-durable tables, so `Durability::None` stays bit-identical.
+    fn charge_wal(&mut self, table: &Table, bytes: u64) {
+        if let Some(every) = table.wal_fsync_every() {
+            self.clock
+                .charge_us(self.profile.wal_write_us(bytes + 32, every));
+        }
+    }
+
     fn family_touches_disk(table: &Table, opts: &ReadOptions) -> bool {
         match &opts.families {
             None => table
@@ -169,6 +179,7 @@ impl Session {
             mutations.len() as u64,
             bytes,
         ));
+        self.charge_wal(table, bytes);
         self.ops += 1;
         Ok(())
     }
@@ -187,6 +198,7 @@ impl Session {
             .sum();
         self.clock
             .charge_us(self.profile.batch_write_us(batch.len() as u64, muts, bytes));
+        self.charge_wal(table, bytes);
         self.ops += 1;
         Ok(n)
     }
@@ -215,6 +227,7 @@ impl Session {
                 })
                 .sum();
             us += self.profile.write_us(rows, mutations.len() as u64, bytes);
+            self.charge_wal(table, bytes);
         }
         self.clock.charge_us(us);
         self.ops += 1;

@@ -5,13 +5,15 @@ use crate::metrics::Metrics;
 use crate::schema::TableSchema;
 use crate::tablet::{RowStorage, TabletSet};
 use crate::types::{Cell, Locality, RowKey, Timestamp};
+use crate::wal::{self, WalRecord, WalWriter};
 use bytes::Bytes;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A single change to one row. Mutations within a [`RowMutation`] apply
 /// atomically (BigTable guarantees single-row atomicity).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Mutation {
     /// Writes one timestamped cell.
     Put {
@@ -66,7 +68,7 @@ impl Mutation {
 }
 
 /// A keyed batch of mutations for one row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowMutation {
     /// Target row.
     pub key: RowKey,
@@ -198,15 +200,59 @@ pub struct Table {
     /// Fast row-count estimate for the cost model (exact under the row
     /// locks, read relaxed).
     approx_rows: std::sync::atomic::AtomicU64,
+    /// Commit log for durable tables; `None` under `Durability::None`.
+    /// Writers append here *before* touching the tablet and keep the lock
+    /// through the in-memory apply, so a snapshot taken under this lock
+    /// always covers everything the truncated log contained.
+    wal: Option<Mutex<WalWriter>>,
+    /// Cached fsync cadence so the cost path never takes the WAL lock.
+    wal_fsync_every: Option<u64>,
 }
 
 impl Table {
-    pub(crate) fn new(schema: TableSchema, max_rows_per_tablet: usize) -> Self {
+    pub(crate) fn new(
+        schema: TableSchema,
+        max_rows_per_tablet: usize,
+        wal: Option<WalWriter>,
+    ) -> Self {
         Table {
             schema,
             tablets: TabletSet::new(max_rows_per_tablet),
             metrics: Arc::new(Metrics::default()),
             approx_rows: std::sync::atomic::AtomicU64::new(0),
+            wal_fsync_every: wal.as_ref().map(|w| w.fsync_every()),
+            wal: wal.map(Mutex::new),
+        }
+    }
+
+    /// Attaches the log writer after recovery replay (replay must not
+    /// re-append the records it is applying).
+    pub(crate) fn attach_wal(&mut self, writer: WalWriter) {
+        self.wal_fsync_every = Some(writer.fsync_every());
+        self.wal = Some(Mutex::new(writer));
+    }
+
+    /// `Some(fsync_every)` when this table writes a WAL, `None` when the
+    /// store is purely in-memory. Sessions use this to charge the
+    /// durability surcharge.
+    pub fn wal_fsync_every(&self) -> Option<u64> {
+        self.wal_fsync_every
+    }
+
+    /// Appends one framed record and returns the held lock so the caller's
+    /// in-memory apply stays inside the WAL critical section.
+    fn wal_append_with(
+        &self,
+        payload: impl FnOnce() -> Vec<u8>,
+    ) -> Result<Option<MutexGuard<'_, WalWriter>>> {
+        match &self.wal {
+            None => Ok(None),
+            Some(wal) => {
+                let mut w = wal.lock();
+                let info = w.append(&payload())?;
+                self.metrics.record_wal_append(info.bytes, info.fsynced);
+                Ok(Some(w))
+            }
         }
     }
 
@@ -313,6 +359,7 @@ impl Table {
         // Validate families before taking the lock so errors are side-effect
         // free.
         self.validate_mutations(mutations)?;
+        let _wal = self.wal_append_with(|| wal::encode_rows(&[(key, mutations)]))?;
         let tablet = self.tablets.route(key);
         let delta = {
             let mut rows = tablet.rows.write();
@@ -335,7 +382,24 @@ impl Table {
         for rm in batch {
             self.validate_mutations(&rm.mutations)?;
         }
-        // Group by tablet identity.
+        let _wal = self.wal_append_with(|| {
+            let rows: Vec<(&RowKey, &[Mutation])> = batch
+                .iter()
+                .map(|rm| (&rm.key, rm.mutations.as_slice()))
+                .collect();
+            wal::encode_rows(&rows)
+        })?;
+        let (total_muts, total_bytes) = self.apply_batch(batch);
+        self.metrics
+            .record_batch_write(batch.len() as u64, total_muts, total_bytes);
+        self.tablets.maybe_split();
+        Ok(batch.len())
+    }
+
+    /// Groups a validated batch by tablet, applies it (one write lock per
+    /// tablet group), and returns `(mutations, payload bytes)`. Shared by
+    /// the live path and WAL replay.
+    fn apply_batch(&self, batch: &[RowMutation]) -> (u64, u64) {
         let mut groups: HashMap<usize, (Arc<crate::tablet::Tablet>, Vec<&RowMutation>)> =
             HashMap::new();
         for rm in batch {
@@ -359,10 +423,7 @@ impl Table {
             }
         }
         self.note_row_delta(total_delta);
-        self.metrics
-            .record_batch_write(batch.len() as u64, total_muts, total_bytes);
-        self.tablets.maybe_split();
-        Ok(batch.len())
+        (total_muts, total_bytes)
     }
 
     /// Conditional mutation (BigTable's `CheckAndMutate`): atomically checks
@@ -384,6 +445,10 @@ impl Table {
     ) -> Result<bool> {
         let fidx = self.family_checked(family)?;
         self.validate_mutations(mutations)?;
+        // WAL lock before tablet lock (the store-wide ordering): whether to
+        // log is only known once the guard is evaluated under the row lock,
+        // so the record is appended there — still before the apply.
+        let mut wal_guard = self.wal.as_ref().map(|m| m.lock());
         let tablet = self.tablets.route(key);
         let (applied, delta) = {
             let mut rows = tablet.rows.write();
@@ -398,6 +463,10 @@ impl Table {
                 _ => false,
             };
             if matches {
+                if let Some(w) = wal_guard.as_deref_mut() {
+                    let info = w.append(&wal::encode_rows(&[(key, mutations)]))?;
+                    self.metrics.record_wal_append(info.bytes, info.fsynced);
+                }
                 let delta = self.apply_to_row(&mut rows, key, mutations);
                 (true, delta)
             } else {
@@ -493,6 +562,23 @@ impl Table {
             )));
         }
         let disk_max = disk_f.max_versions;
+        let _wal =
+            self.wal_append_with(|| wal::encode_age_transfer(mem_family, disk_family, cutoff))?;
+        let moved = self.age_transfer_apply(mem_idx, disk_idx, disk_max, cutoff);
+        self.metrics.record_write(0, moved as u64, 0);
+        Ok(moved)
+    }
+
+    /// The tablet walk behind [`age_transfer`](Table::age_transfer),
+    /// shared with WAL replay (the move is deterministic given the rows,
+    /// so it replays by re-execution).
+    fn age_transfer_apply(
+        &self,
+        mem_idx: usize,
+        disk_idx: usize,
+        disk_max: usize,
+        cutoff: Timestamp,
+    ) -> usize {
         let mut moved = 0usize;
         for (_, tablet) in self.tablets.route_range(&RowKey::MIN, None) {
             let mut rows = tablet.rows.write();
@@ -512,8 +598,122 @@ impl Table {
                 }
             }
         }
-        self.metrics.record_write(0, moved as u64, 0);
-        Ok(moved)
+        moved
+    }
+
+    /// Snapshots the table and truncates its log, all under the WAL lock
+    /// so no record can land between the two. The snapshot goes to
+    /// `<name>.snap.tmp` first and is renamed into place, so a crash
+    /// mid-compaction leaves either the old snapshot + full log or the
+    /// new snapshot (+ a log replay converges on). Returns snapshot bytes
+    /// written; `Ok(0)` and no I/O on a non-durable table.
+    pub fn compact(&self) -> Result<u64> {
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        let mut w = wal.lock();
+        let payload = self.snapshot_payload();
+        let bytes = w.write_snapshot(&payload)?;
+        w.truncate()?;
+        Ok(bytes)
+    }
+
+    /// Serializes schema + every row into one snapshot payload. Callers
+    /// hold the WAL lock, which excludes all durable writers, so the scan
+    /// over tablet read locks sees a consistent cut.
+    pub(crate) fn snapshot_payload(&self) -> Vec<u8> {
+        let mut buf = wal::encode_schema(&self.schema);
+        let count_pos = buf.len();
+        wal::put_u64(&mut buf, 0); // patched below
+        let mut n = 0u64;
+        for (_, tablet) in self.tablets.route_range(&RowKey::MIN, None) {
+            let rows = tablet.rows.read();
+            for (key, row) in rows.iter() {
+                n += 1;
+                wal::put_bytes(&mut buf, &key.0);
+                for fam in &row.families {
+                    wal::put_u32(&mut buf, fam.len() as u32);
+                    for (qual, versions) in fam {
+                        wal::put_str(&mut buf, qual);
+                        wal::put_u32(&mut buf, versions.len() as u32);
+                        for c in versions {
+                            wal::put_u64(&mut buf, c.ts.0);
+                            wal::put_bytes(&mut buf, &c.value);
+                        }
+                    }
+                }
+            }
+        }
+        buf[count_pos..count_pos + 8].copy_from_slice(&n.to_le_bytes());
+        buf
+    }
+
+    /// Loads the row section of a snapshot payload (the reader is
+    /// positioned just past the schema). Recovery-only: the table is not
+    /// yet shared, so direct tablet inserts are safe.
+    pub(crate) fn load_snapshot_rows(&self, r: &mut wal::Reader<'_>) -> Result<u64> {
+        let nrows = r.u64()?;
+        let nfam = self.schema.families.len();
+        for i in 0..nrows {
+            let key = RowKey(r.bytes()?.to_vec());
+            let mut row = RowStorage::with_families(nfam);
+            for (fidx, fam) in self.schema.families.iter().enumerate() {
+                let ncols = r.u32()?;
+                for _ in 0..ncols {
+                    let qual = r.str()?;
+                    let nver = r.u32()?;
+                    for _ in 0..nver {
+                        let ts = Timestamp(r.u64()?);
+                        let value = Bytes::copy_from_slice(r.bytes()?);
+                        row.put(fidx, &qual, ts, value, fam.max_versions);
+                    }
+                }
+            }
+            let tablet = self.tablets.route(&key);
+            tablet.rows.write().insert(key, row);
+            self.note_row_delta(1);
+            if i % 1024 == 1023 {
+                self.tablets.maybe_split();
+            }
+        }
+        self.tablets.maybe_split();
+        Ok(nrows)
+    }
+
+    /// Applies one replayed WAL record. Recovery-only: called before the
+    /// log writer is attached, so nothing is re-appended; counts into the
+    /// `wal_replayed` metric instead of the RPC counters.
+    pub(crate) fn apply_replayed(&self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Schema(s) => {
+                // Harmless duplicate when a crash landed between snapshot
+                // publication and log truncation; anything else is skew.
+                if s != self.schema {
+                    return Err(BigtableError::Wal(format!(
+                        "replayed schema for table {:?} does not match",
+                        self.schema.name
+                    )));
+                }
+            }
+            WalRecord::Rows(batch) => {
+                for rm in &batch {
+                    self.validate_mutations(&rm.mutations)?;
+                }
+                self.apply_batch(&batch);
+                self.tablets.maybe_split();
+            }
+            WalRecord::AgeTransfer {
+                mem_family,
+                disk_family,
+                cutoff,
+            } => {
+                let (mem_idx, _) = self.schema.family(&mem_family)?;
+                let (disk_idx, disk_f) = self.schema.family(&disk_family)?;
+                self.age_transfer_apply(mem_idx, disk_idx, disk_f.max_versions, cutoff);
+            }
+        }
+        self.metrics.record_wal_replay(1);
+        Ok(())
     }
 
     fn resolve_family_filter(&self, opts: &ReadOptions) -> Result<Option<Vec<usize>>> {
@@ -659,7 +859,7 @@ mod tests {
             ],
         )
         .unwrap();
-        Table::new(schema, 64)
+        Table::new(schema, 64, None)
     }
 
     #[test]

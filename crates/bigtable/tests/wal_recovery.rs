@@ -1,0 +1,364 @@
+//! Kill-style crash-recovery tests for the durable store: every
+//! acknowledged write must survive a crash (dropping the store without any
+//! graceful shutdown) and replay must be idempotent, including the torn
+//! final record and the crash-between-snapshot-and-truncate windows.
+
+use moist_bigtable::{
+    Bigtable, ColumnFamily, Durability, Mutation, ReadOptions, RowKey, RowMutation, ScanRange,
+    StoreConfig, TableSchema, Timestamp,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moist_wal_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path, fsync_every: u64) -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Wal {
+            dir: dir.to_path_buf(),
+            fsync_every,
+        },
+        ..StoreConfig::default()
+    }
+}
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnFamily::in_memory("mem", usize::MAX),
+            ColumnFamily::on_disk("disk", usize::MAX),
+        ],
+    )
+    .unwrap()
+}
+
+/// Full-state comparison: every row, column and version of every table.
+fn full_state(store: &Bigtable, table: &str) -> Vec<moist_bigtable::OwnedRow> {
+    store
+        .open_table(table)
+        .unwrap()
+        .scan(
+            &ScanRange::all(),
+            &ReadOptions {
+                families: None,
+                latest_only: false,
+            },
+            None,
+        )
+        .unwrap()
+}
+
+#[test]
+fn acknowledged_writes_survive_a_crash_under_8_threads() {
+    let dir = test_dir("kill8");
+    let store = Bigtable::with_config(durable_config(&dir, 16));
+    let table = store.create_table(schema()).unwrap();
+
+    // 8 writer threads race mutate_row / mutate_rows / check_and_mutate
+    // against each other; each records a write as "acknowledged" only
+    // after the call returned Ok. A shared budget stops everyone at an
+    // arbitrary point mid-stream, then the store is dropped with no
+    // graceful shutdown — the crash.
+    let budget = AtomicI64::new(3_000);
+    let acked: Vec<(RowKey, Timestamp, Vec<u8>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for thread in 0..8u64 {
+            let table = Arc::clone(&table);
+            let budget = &budget;
+            handles.push(scope.spawn(move || {
+                let mut acked = Vec::new();
+                let mut i = 0u64;
+                loop {
+                    if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                        break;
+                    }
+                    let ts = Timestamp(i + 1);
+                    let val = vec![thread as u8, i as u8];
+                    match i % 3 {
+                        0 => {
+                            let key = RowKey::from_u64(thread * 1_000_000 + i);
+                            table
+                                .mutate_row(&key, &[Mutation::put("mem", "q", ts, val.clone())])
+                                .unwrap();
+                            acked.push((key, ts, val));
+                        }
+                        1 => {
+                            let batch: Vec<RowMutation> = (0..4)
+                                .map(|j| {
+                                    RowMutation::new(
+                                        RowKey::from_u64(thread * 1_000_000 + i + j * 100_000),
+                                        vec![Mutation::put("mem", "b", ts, val.clone())],
+                                    )
+                                })
+                                .collect();
+                            table.mutate_rows(&batch).unwrap();
+                            for rm in batch {
+                                acked.push((rm.key, ts, val.clone()));
+                            }
+                        }
+                        _ => {
+                            // Contended CAS on a shared row: only the
+                            // winner's write is acknowledged.
+                            let key = RowKey::from_u64(42);
+                            let ok = table
+                                .check_and_mutate(
+                                    &key,
+                                    "mem",
+                                    &format!("cas{i}"),
+                                    None,
+                                    &[Mutation::put("mem", format!("cas{i}"), ts, val.clone())],
+                                )
+                                .unwrap();
+                            if ok {
+                                acked.push((key, ts, val));
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                acked
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(acked.len() > 1_000, "workload too small: {}", acked.len());
+    drop(table);
+    drop(store); // crash: no compaction, no flush, nothing graceful
+
+    let (recovered, report) = Bigtable::recover(durable_config(&dir, 16)).unwrap();
+    assert_eq!(report.tables, 1);
+    assert!(report.replayed_records > 0);
+    let table = recovered.open_table("t").unwrap();
+    for (key, ts, val) in &acked {
+        let row = table
+            .get_row(
+                key,
+                &ReadOptions {
+                    families: None,
+                    latest_only: false,
+                },
+            )
+            .unwrap()
+            .unwrap_or_else(|| panic!("acknowledged row {key:?} lost"));
+        let found = row.entries.iter().any(|e| {
+            e.cells
+                .iter()
+                .any(|c| c.ts == *ts && c.value.as_ref() == val)
+        });
+        assert!(found, "acknowledged cell {key:?}@{ts:?} lost");
+    }
+    assert_eq!(
+        recovered.metrics_snapshot().wal_replayed,
+        report.replayed_records
+    );
+
+    // Idempotent re-replay: recovering the same files again reaches the
+    // identical state.
+    let state_a = full_state(&recovered, "t");
+    drop(table);
+    drop(recovered);
+    let (again, report2) = Bigtable::recover(durable_config(&dir, 16)).unwrap();
+    assert_eq!(report2.replayed_records, report.replayed_records);
+    assert_eq!(full_state(&again, "t"), state_a);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_final_record_is_truncated_to_a_consistent_cut() {
+    let dir = test_dir("torn");
+    let store = Bigtable::with_config(durable_config(&dir, 0));
+    let table = store.create_table(schema()).unwrap();
+    for i in 0..50u64 {
+        table
+            .mutate_row(
+                &RowKey::from_u64(i),
+                &[Mutation::put("mem", "q", Timestamp(i), vec![i as u8])],
+            )
+            .unwrap();
+    }
+    drop(table);
+    drop(store);
+
+    // Crash mid-append: chop a few bytes off the last record.
+    let wal = dir.join("t.wal");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let (recovered, report) = Bigtable::recover(durable_config(&dir, 0)).unwrap();
+    assert_eq!(report.truncated_tables, 1);
+    let table = recovered.open_table("t").unwrap();
+    // Rows 0..49 survive; the torn row 49 is gone — a consistent prefix.
+    assert_eq!(table.row_count(), 49);
+    assert!(table
+        .get_latest(&RowKey::from_u64(48), "mem", "q")
+        .unwrap()
+        .is_some());
+    assert!(table
+        .get_latest(&RowKey::from_u64(49), "mem", "q")
+        .unwrap()
+        .is_none());
+
+    // The log accepts appends again at the cut, and they survive the next
+    // recovery with nothing further truncated.
+    table
+        .mutate_row(
+            &RowKey::from_u64(99),
+            &[Mutation::put("mem", "q", Timestamp(99), &b"new"[..])],
+        )
+        .unwrap();
+    drop(table);
+    drop(recovered);
+    let (again, report2) = Bigtable::recover(durable_config(&dir, 0)).unwrap();
+    assert_eq!(report2.truncated_tables, 0);
+    let table = again.open_table("t").unwrap();
+    assert_eq!(table.row_count(), 50);
+    assert!(table
+        .get_latest(&RowKey::from_u64(99), "mem", "q")
+        .unwrap()
+        .is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_truncates_the_log_and_recovery_replays_only_the_tail() {
+    let dir = test_dir("compact");
+    let store = Bigtable::with_config(durable_config(&dir, 8));
+    let table = store.create_table(schema()).unwrap();
+    for i in 0..100u64 {
+        table
+            .mutate_row(
+                &RowKey::from_u64(i),
+                &[Mutation::put("mem", "q", Timestamp(i), vec![i as u8])],
+            )
+            .unwrap();
+    }
+    // Age a slice to the disk family so the logical record is in the log,
+    // then snapshot.
+    table.age_transfer("mem", "disk", Timestamp(10)).unwrap();
+    let snap_bytes = store.compact_all().unwrap();
+    assert!(snap_bytes > 0);
+    assert_eq!(std::fs::metadata(dir.join("t.wal")).unwrap().len(), 0);
+    assert!(dir.join("t.snap").exists());
+
+    for i in 100..130u64 {
+        table
+            .mutate_row(
+                &RowKey::from_u64(i),
+                &[Mutation::put("mem", "q", Timestamp(i), vec![i as u8])],
+            )
+            .unwrap();
+    }
+    let live = full_state(&store, "t");
+    drop(table);
+    drop(store);
+
+    let (recovered, report) = Bigtable::recover(durable_config(&dir, 8)).unwrap();
+    assert_eq!(report.replayed_records, 30, "only the tail replays");
+    assert_eq!(full_state(&recovered, "t"), live);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replay_of_records_already_in_the_snapshot_is_idempotent() {
+    // Simulates a crash between snapshot publication and log truncation:
+    // recovery then replays the *whole* log on top of a snapshot that
+    // already contains it.
+    let dir = test_dir("resnap");
+    let store = Bigtable::with_config(durable_config(&dir, 0));
+    let table = store.create_table(schema()).unwrap();
+    for i in 0..40u64 {
+        table
+            .mutate_row(
+                &RowKey::from_u64(i % 10),
+                &[Mutation::put("mem", "q", Timestamp(i), vec![i as u8])],
+            )
+            .unwrap();
+    }
+    table
+        .mutate_row(&RowKey::from_u64(3), &[Mutation::DeleteRow])
+        .unwrap();
+    table.age_transfer("mem", "disk", Timestamp(20)).unwrap();
+
+    let pre_compact_log = std::fs::read(dir.join("t.wal")).unwrap();
+    let live = full_state(&store, "t");
+    store.compact_all().unwrap();
+    drop(table);
+    drop(store);
+    // Undo the truncation: snapshot + full log, as the crash would leave.
+    std::fs::write(dir.join("t.wal"), &pre_compact_log).unwrap();
+
+    let (recovered, report) = Bigtable::recover(durable_config(&dir, 0)).unwrap();
+    // Every surviving log record is covered by the snapshot's sequence
+    // number, so nothing replays — and nothing applies twice.
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(full_state(&recovered, "t"), live);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dropped_tables_do_not_resurrect_and_creation_stubs_are_skipped() {
+    let dir = test_dir("drop");
+    let store = Bigtable::with_config(durable_config(&dir, 0));
+    store.create_table(schema()).unwrap();
+    let other = TableSchema::new("gone", vec![ColumnFamily::in_memory("f", 1)]).unwrap();
+    store.create_table(other).unwrap();
+    store.drop_table("gone").unwrap();
+    drop(store);
+    // A zero-length stub: a table whose creation crashed before the
+    // schema record hit the log.
+    std::fs::write(dir.join("stub.wal"), b"").unwrap();
+
+    let (recovered, report) = Bigtable::recover(durable_config(&dir, 0)).unwrap();
+    assert_eq!(recovered.table_names(), vec!["t"]);
+    assert_eq!(report.tables, 1);
+    assert_eq!(report.skipped_tables, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_charges_cost_and_counts_wal_metrics() {
+    let dir = test_dir("cost");
+    let mem_store = Bigtable::new();
+    let wal_store = Bigtable::with_config(durable_config(&dir, 8));
+    let mut cheap = mem_store.session();
+    let mut durable = wal_store.session();
+    mem_store.create_table(schema()).unwrap();
+    wal_store.create_table(schema()).unwrap();
+    let mem_t = mem_store.open_table("t").unwrap();
+    let wal_t = wal_store.open_table("t").unwrap();
+    for i in 0..64u64 {
+        let muts = [Mutation::put("mem", "q", Timestamp(i), vec![i as u8])];
+        cheap
+            .mutate_row(&mem_t, &RowKey::from_u64(i), &muts)
+            .unwrap();
+        durable
+            .mutate_row(&wal_t, &RowKey::from_u64(i), &muts)
+            .unwrap();
+    }
+    assert!(
+        durable.elapsed_us() > cheap.elapsed_us(),
+        "durable writes must cost more: {} vs {}",
+        durable.elapsed_us(),
+        cheap.elapsed_us()
+    );
+    let snap = wal_store.metrics_snapshot();
+    // 64 row records hit the table metrics (the schema record is written
+    // by the store before the table exists); the writer fsyncs every 8
+    // appends counting the schema record, so 8 of the row appends sync.
+    assert_eq!(snap.wal_appends, 64);
+    assert_eq!(snap.wal_fsyncs, 8);
+    assert!(snap.wal_bytes > 0);
+    let mem_snap = mem_store.metrics_snapshot();
+    assert_eq!(mem_snap.wal_appends, 0);
+    assert_eq!(mem_snap.wal_bytes, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -192,7 +192,7 @@ use crate::region::{RegionPartial, RegionStats};
 use crate::server::{MoistServer, ServerStats};
 use crate::update::{UpdateMessage, UpdateOutcome};
 use moist_archive::PppArchiver;
-use moist_bigtable::{Bigtable, Timestamp};
+use moist_bigtable::{Bigtable, RecoveryReport, StoreConfig, Timestamp};
 use moist_spatial::{cells_at_level, CellId, Point, Rect};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -612,6 +612,42 @@ impl MoistCluster {
         })
     }
 
+    /// Rebuilds a tier from a crashed durable store.
+    ///
+    /// [`Bigtable::recover`] replays every table's snapshot + WAL tail to
+    /// its last consistent cut, then the fleet is built over the
+    /// recovered store exactly as [`new`](MoistCluster::new) builds one
+    /// over a populated store: the MOIST tables are opened (not
+    /// recreated), each shard's scheduler is re-seeded with its
+    /// rendezvous slice, and the shared object estimate restarts from
+    /// the recovered affiliation rows — so FLAG levels and clustering
+    /// deadlines pick up where the crashed tier acknowledged them.
+    ///
+    /// Returns the recovered store (callers usually want sessions on it),
+    /// the tier, and the recovery report. `store_cfg.durability` must be
+    /// [`Durability::Wal`](moist_bigtable::Durability::Wal).
+    pub fn recover(
+        store_cfg: StoreConfig,
+        cfg: MoistConfig,
+        shards: usize,
+    ) -> Result<(Arc<Bigtable>, Self, RecoveryReport)> {
+        let (store, report) = Bigtable::recover(store_cfg)?;
+        let cluster = MoistCluster::new(&store, cfg, shards)?;
+        Ok((store, cluster, report))
+    }
+
+    /// Durability checkpoint: drains the ingest pipeline so every
+    /// buffered acknowledged update is applied (and therefore WAL-logged)
+    /// **before** the store snapshots, then compacts every table —
+    /// snapshot + log truncation. Returns `(updates drained, snapshot
+    /// bytes written)`. On a non-durable store the compaction half is a
+    /// no-op and `bytes` is 0.
+    pub fn checkpoint(&self) -> Result<(usize, u64)> {
+        let drained = self.drain_ingest()?;
+        let bytes = self.store.compact_all()?;
+        Ok((drained, bytes))
+    }
+
     /// Tunes the ingestion pipeline ([`submit`](MoistCluster::submit) /
     /// [`flush_due`](MoistCluster::flush_due)): batch size, queue cap,
     /// flush deadline and the full-queue policy. Degenerate sizes are
@@ -986,8 +1022,13 @@ impl MoistCluster {
     ///   balancing pass.
     ///
     /// Returns what changed; when nothing does (level fleet, no hot
-    /// cells) the membership — and its epoch — is left untouched.
-    pub fn rebalance(&self, now: Timestamp) -> RebalanceReport {
+    /// cells) the membership — and its epoch — is left untouched. The
+    /// membership change itself cannot fail, but the post-publish ingest
+    /// drain applies buffered batches and any error it hits (a poisoned
+    /// update, a store failure) is propagated rather than swallowed —
+    /// the new epoch is already live at that point, so callers see the
+    /// placement applied *and* the drain failure.
+    pub fn rebalance(&self, now: Timestamp) -> Result<RebalanceReport> {
         let mut guard = self.membership.write();
         let old = Arc::clone(&guard);
 
@@ -1090,12 +1131,12 @@ impl MoistCluster {
             .zip(&old.weights)
             .any(|(a, b)| (a - b).abs() > 1e-9);
         if !weights_changed && split_now.is_empty() {
-            return RebalanceReport {
+            return Ok(RebalanceReport {
                 epoch: old.epoch,
                 reweighted: 0,
                 split_cells: Vec::new(),
                 migrated_keys: 0,
-            };
+            });
         }
 
         // ---- publish: one epoch bump through the shared handover path ----
@@ -1111,18 +1152,17 @@ impl MoistCluster {
         self.split_migrations.fetch_add(migrated, Ordering::Relaxed);
         *guard = Arc::new(new);
         self.version.fetch_add(1, Ordering::AcqRel);
-        // Same drain-and-reroute as join/leave. Store errors cannot
-        // occur on the in-memory store and rebalance reports rather than
-        // fails; a real deployment would surface this through the
-        // ingest error counters instead of aborting the placement step.
+        // Same drain-and-reroute as join/leave: the drain's error is the
+        // caller's to see — buffered acknowledged updates that fail to
+        // apply must not vanish behind a successful-looking report.
         drop(guard);
-        let _ = self.drain_ingest();
-        RebalanceReport {
+        self.drain_ingest()?;
+        Ok(RebalanceReport {
             epoch: old.epoch + 1,
             reweighted,
             split_cells: split_now,
             migrated_keys: migrated,
-        }
+        })
     }
 
     /// The clustering cells currently split one level finer.
@@ -2306,7 +2346,7 @@ mod tests {
         let before_skew = cluster
             .cluster_stats(Timestamp::from_secs(40))
             .utilization_skew();
-        let report = cluster.rebalance(Timestamp::from_secs(40));
+        let report = cluster.rebalance(Timestamp::from_secs(40)).unwrap();
         assert_eq!(report.epoch, 1, "a skewed fleet must publish a new epoch");
         assert!(
             report.split_cells.contains(&hot_cell),
@@ -2350,7 +2390,7 @@ mod tests {
         assert_eq!(cluster.stats().updates, agg_before + 1);
         // A follow-up rebalance on the (now quieter) fleet must keep the
         // partition exact even if it moves more keys.
-        cluster.rebalance(Timestamp::from_secs(80));
+        cluster.rebalance(Timestamp::from_secs(80)).unwrap();
         assert_routing_partition(&cluster);
     }
 
@@ -2372,7 +2412,7 @@ mod tests {
                     .unwrap();
             }
         }
-        let report = cluster.rebalance(Timestamp::from_secs(30));
+        let report = cluster.rebalance(Timestamp::from_secs(30)).unwrap();
         assert!(
             report.split_cells.is_empty(),
             "uniform load must not split: {report:?}"
@@ -2385,6 +2425,68 @@ mod tests {
         for w in cluster.shard_weights() {
             assert!((0.1..=8.0).contains(&w), "weight {w} out of bounds");
         }
+    }
+
+    /// Pins that a failing post-publish ingest drain surfaces through
+    /// `rebalance` instead of being swallowed: a poisoned buffered update
+    /// must turn the placement step into an error the caller sees.
+    #[test]
+    fn rebalance_propagates_a_failing_ingest_drain() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 3,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        // Skew the fleet hard enough that rebalance publishes a new epoch
+        // (same workload shape the hot-cell test pins).
+        let hot = Point::new(437.0, 437.0);
+        let mut oid = 0u64;
+        for sec in 0..40u64 {
+            for i in 0..25u64 {
+                let (x, y) = if i < 20 {
+                    (hot.x + (i % 5) as f64, hot.y + (i / 5) as f64)
+                } else {
+                    (
+                        31.0 + 211.0 * (oid % 4) as f64,
+                        31.0 + 311.0 * (oid % 3) as f64,
+                    )
+                };
+                cluster
+                    .update(&msg(oid % 600, x, y, 0.0, sec as f64 + i as f64 / 25.0))
+                    .unwrap();
+                oid += 1;
+            }
+        }
+        // Poison the ingest queue behind `submit`'s validation (a real
+        // deployment can always buffer a message that later fails to
+        // apply — e.g. a store error): the drain inside rebalance must
+        // hit it and propagate.
+        let bad = UpdateMessage {
+            oid: ObjectId(77),
+            loc: Point::new(f64::NAN, 1.0),
+            vel: Velocity::new(0.0, 0.0),
+            ts: Timestamp::from_secs(40),
+        };
+        match cluster.ingest.enqueue(&cluster.ingest_cfg, 0, &bad) {
+            EnqueueResult::Queued { .. } => {}
+            other => panic!("poisoned message must buffer, got {other:?}"),
+        }
+        let err = cluster
+            .rebalance(Timestamp::from_secs(40))
+            .expect_err("a failing drain must fail the rebalance");
+        assert!(
+            matches!(err, MoistError::Inconsistent(_)),
+            "wrong error: {err:?}"
+        );
+        // The failure is in the drain, not the placement: the routing
+        // partition stays exact and the tier keeps serving.
+        assert_routing_partition(&cluster);
+        cluster
+            .update(&msg(9_999, hot.x, hot.y, 0.0, 41.0))
+            .unwrap();
     }
 
     #[test]
@@ -2412,7 +2514,7 @@ mod tests {
                     .unwrap();
             }
         }
-        let report = cluster.rebalance(Timestamp::from_secs(40));
+        let report = cluster.rebalance(Timestamp::from_secs(40)).unwrap();
         assert!(
             report.split_cells.contains(&hot_cell),
             "the only loaded cell must split: {report:?}"

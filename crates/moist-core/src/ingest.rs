@@ -48,7 +48,10 @@ pub struct IngestConfig {
     /// Flush a queue whose **oldest** buffered message is older than this
     /// many (virtual) seconds at the next
     /// [`flush_due`](crate::MoistCluster::flush_due) tick, so a trickle
-    /// of updates is never stranded waiting for a full batch.
+    /// of updates is never stranded waiting for a full batch. `0.0` (or
+    /// any non-positive value) means "no batching delay": every
+    /// non-empty queue flushes on every tick, regardless of how its
+    /// message timestamps compare to the tick's `now`.
     pub flush_deadline_secs: f64,
     /// What a full queue does to the submission.
     pub policy: BackpressurePolicy,
@@ -181,6 +184,7 @@ pub(crate) enum FlushKind {
 
 /// What one enqueue attempt did (the cluster translates this into a
 /// [`SubmitOutcome`] / typed error per the configured policy).
+#[derive(Debug)]
 pub(crate) enum EnqueueResult {
     /// Buffered below the batch threshold; `depth` is the outstanding
     /// count after the enqueue.
@@ -285,11 +289,17 @@ impl IngestQueues {
         let mut out = Vec::new();
         for (shard, queue) in queues {
             let mut buf = queue.buf.lock();
-            let due = buf
-                .iter()
-                .map(|m| m.ts.0)
-                .min()
-                .is_some_and(|oldest| oldest.saturating_add(deadline_us) <= now.0);
+            // A zero deadline means "no batching delay": any non-empty
+            // queue is due, even one whose messages are timestamped ahead
+            // of `now` (the age test below would strand those forever).
+            let due = if deadline_us == 0 {
+                !buf.is_empty()
+            } else {
+                buf.iter()
+                    .map(|m| m.ts.0)
+                    .min()
+                    .is_some_and(|oldest| oldest.saturating_add(deadline_us) <= now.0)
+            };
             if due {
                 out.push((shard, std::mem::take(&mut *buf)));
             }
@@ -514,6 +524,37 @@ mod tests {
         assert_eq!(s.queued, 0);
         assert_eq!(s.drain_flushes, 1);
         assert_eq!(s.enqueued, 3);
+    }
+
+    #[test]
+    fn zero_deadline_flushes_every_nonempty_queue_each_tick() {
+        let q = IngestQueues::default();
+        let cfg = IngestConfig {
+            batch_size: 100,
+            flush_deadline_secs: 0.0,
+            ..IngestConfig::default()
+        }
+        .normalized();
+        // One message timestamped *ahead* of the tick's `now`: the age
+        // test alone would never flush it, but a zero deadline means "no
+        // batching delay" — it flushes anyway.
+        q.enqueue(&cfg, 0, &msg(1, 9));
+        q.enqueue(&cfg, 1, &msg(2, 0));
+        let due = q.take_due(&cfg, Timestamp::from_secs(1));
+        assert_eq!(due.len(), 2, "every non-empty queue is due");
+        for (shard, batch) in &due {
+            q.note_flush(FlushKind::Deadline, *shard, batch, Timestamp::from_secs(1));
+        }
+        assert_eq!(q.stats().queued, 0);
+        // Empty queues stay untaken.
+        assert!(q.take_due(&cfg, Timestamp::from_secs(2)).is_empty());
+        // The default (positive) deadline still honours message age.
+        let aged = IngestConfig::default().normalized();
+        q.enqueue(&aged, 2, &msg(3, 9));
+        assert!(
+            q.take_due(&aged, Timestamp::from_secs(1)).is_empty(),
+            "young queue must wait out a positive deadline"
+        );
     }
 
     #[test]

@@ -233,7 +233,7 @@ fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
             // Worker 1 rebalances on every tick — epoch bumps, weight
             // shifts and splits race everyone else's updates and queries.
             if i == 1 {
-                let report = cluster.rebalance(Timestamp::from_secs_f64(t));
+                let report = cluster.rebalance(Timestamp::from_secs_f64(t)).unwrap();
                 rebalances.fetch_add(u64::from(report.migrated_keys > 0), Ordering::Relaxed);
             }
 

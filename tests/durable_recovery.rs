@@ -1,0 +1,162 @@
+//! Kill-style durability test for the cluster tier: 8 threads push
+//! acknowledged updates through a durable [`MoistCluster`], the whole
+//! tier (and its store) is dropped with no graceful shutdown, and
+//! [`MoistCluster::recover`] must rebuild a tier that still answers with
+//! every acknowledged update — twice, because replay is idempotent.
+
+use moist::bigtable::{Bigtable, Durability, StoreConfig, Timestamp};
+use moist::core::{MoistCluster, MoistConfig, ObjectId, UpdateMessage};
+use moist::spatial::{Point, Velocity};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 4;
+const WORKERS: usize = 8;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moist_durable_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> StoreConfig {
+    StoreConfig {
+        durability: Durability::Wal {
+            dir: dir.to_path_buf(),
+            fsync_every: 32,
+        },
+        ..StoreConfig::default()
+    }
+}
+
+fn tier_config() -> MoistConfig {
+    MoistConfig {
+        epsilon: 50.0,
+        clustering_level: 3,
+        cluster_interval_secs: 10.0,
+        ..MoistConfig::default()
+    }
+}
+
+fn msg(oid: u64, x: f64, y: f64, secs: f64) -> UpdateMessage {
+    UpdateMessage {
+        oid: ObjectId(oid),
+        loc: Point::new(x, y),
+        vel: Velocity::new(0.8, 0.3),
+        ts: Timestamp::from_secs_f64(secs),
+    }
+}
+
+#[test]
+fn acknowledged_cluster_updates_survive_a_crash() {
+    let dir = test_dir("kill");
+    let store = Bigtable::with_config(durable_config(&dir));
+    let cluster = MoistCluster::new(&store, tier_config(), SHARDS).unwrap();
+
+    // 8 threads race synchronous updates; each records (oid, ts, loc)
+    // only after `update` returned Ok — the durable acknowledgement.
+    // A shared budget stops everyone at an arbitrary mid-stream point.
+    let budget = AtomicI64::new(2_400);
+    let acked: Mutex<Vec<(u64, Timestamp, Point)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS as u64 {
+            let cluster = &cluster;
+            let budget = &budget;
+            let acked = &acked;
+            scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut i = 0u64;
+                while budget.fetch_sub(1, Ordering::Relaxed) > 0 {
+                    let oid = worker * 10_000 + (i % 97);
+                    let x = 20.0 + ((oid * 131 + i * 17) % 960) as f64;
+                    let y = 20.0 + ((oid * 61 + i * 29) % 960) as f64;
+                    let t = 1.0 + i as f64 / 50.0 + worker as f64 / 1000.0;
+                    let m = msg(oid, x, y, t);
+                    cluster.update(&m).unwrap();
+                    mine.push((oid, m.ts, m.loc));
+                    i += 1;
+                }
+                acked.lock().unwrap().append(&mut mine);
+            });
+        }
+    });
+    let acked = acked.into_inner().unwrap();
+    assert!(acked.len() > 1_500, "workload too small: {}", acked.len());
+
+    // Last write per object wins: dedupe to the newest acknowledged
+    // timestamp per oid (the location table may keep fewer versions).
+    let mut latest: std::collections::HashMap<u64, (Timestamp, Point)> =
+        std::collections::HashMap::new();
+    for (oid, ts, loc) in &acked {
+        let e = latest.entry(*oid).or_insert((*ts, *loc));
+        if *ts >= e.0 {
+            *e = (*ts, *loc);
+        }
+    }
+
+    drop(cluster);
+    drop(store); // crash: no checkpoint, no drain, nothing graceful
+
+    let (_store, recovered, report) =
+        MoistCluster::recover(durable_config(&dir), tier_config(), SHARDS).unwrap();
+    assert!(report.tables >= 3, "all MOIST tables recover: {report:?}");
+    assert!(report.replayed_records > 0);
+    // Every object's last acknowledged position is served back.
+    for (oid, (ts, loc)) in &latest {
+        let got = recovered
+            .position(ObjectId(*oid), *ts)
+            .unwrap()
+            .unwrap_or_else(|| panic!("acknowledged object {oid} lost"));
+        assert!(
+            (got.x - loc.x).abs() < 1e-6 && (got.y - loc.y).abs() < 1e-6,
+            "object {oid}: recovered {got:?}, acknowledged {loc:?}"
+        );
+    }
+
+    // Idempotent re-recovery: same files, same answers.
+    drop(recovered);
+    let (_store2, again, report2) =
+        MoistCluster::recover(durable_config(&dir), tier_config(), SHARDS).unwrap();
+    assert_eq!(report2.replayed_records, report.replayed_records);
+    for (oid, (ts, loc)) in &latest {
+        let got = again.position(ObjectId(*oid), *ts).unwrap().unwrap();
+        assert!((got.x - loc.x).abs() < 1e-6 && (got.y - loc.y).abs() < 1e-6);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_drains_ingest_before_snapshotting() {
+    let dir = test_dir("ckpt");
+    let store = Bigtable::with_config(durable_config(&dir));
+    let cluster = MoistCluster::new(&store, tier_config(), 2).unwrap();
+    // Buffer updates through the async path; none are applied yet.
+    for i in 0..10u64 {
+        cluster
+            .submit(&msg(i, 100.0 + i as f64, 200.0, 1.0 + i as f64 / 10.0))
+            .unwrap();
+    }
+    let (drained, snap_bytes) = cluster.checkpoint().unwrap();
+    assert_eq!(drained, 10, "checkpoint must apply the buffered updates");
+    assert!(snap_bytes > 0);
+
+    // Crash right after: recovery restores from snapshots alone (the
+    // logs were truncated by the checkpoint, so nothing replays).
+    drop(cluster);
+    drop(store);
+    let (_store, recovered, report) =
+        MoistCluster::recover(durable_config(&dir), tier_config(), 2).unwrap();
+    assert_eq!(report.replayed_records, 0, "{report:?}");
+    for i in 0..10u64 {
+        let got = recovered
+            .position(ObjectId(i), Timestamp::from_secs(2))
+            .unwrap()
+            .unwrap_or_else(|| panic!("checkpointed object {i} lost"));
+        assert!(
+            (got.x - (100.0 + i as f64)).abs() < 1.0,
+            "object {i}: {got:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
