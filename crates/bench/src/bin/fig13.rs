@@ -131,7 +131,10 @@ enum WorkerBuckets {
 fn multi(servers: usize, horizon_secs: u64, fig_id: &str, population: u64) {
     let cfg = MoistConfig::without_schooling();
     let store = bulk_load(population, &cfg);
-    let cluster = MoistCluster::new(&store, cfg, servers).expect("cluster");
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(servers)
+        .build()
+        .expect("cluster");
     let queriers = 2usize;
     println!("loaded {population} objects; driving {servers} shards + {queriers} queriers...");
     let horizon = horizon_secs as usize;

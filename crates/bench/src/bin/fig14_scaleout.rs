@@ -122,7 +122,10 @@ fn run_one(shards: usize, scale: &Scale) -> Measured {
         cluster_interval_secs: 10.0,
         ..MoistConfig::default()
     };
-    let cluster = MoistCluster::new(&store, cfg, shards).expect("cluster");
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(shards)
+        .build()
+        .expect("cluster");
     let sims: Vec<Mutex<RoadNetSim>> = (0..scale.clients)
         .map(|i| {
             Mutex::new(RoadNetSim::new(
@@ -204,7 +207,10 @@ fn run_elastic(scale: &ElasticScale, id: &str) {
         cluster_interval_secs: 10.0,
         ..MoistConfig::default()
     };
-    let cluster = MoistCluster::new(&store, cfg, scale.start_shards).expect("cluster");
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(scale.start_shards)
+        .build()
+        .expect("cluster");
     let sims: Vec<Mutex<RoadNetSim>> = (0..scale.clients)
         .map(|i| {
             Mutex::new(RoadNetSim::new(

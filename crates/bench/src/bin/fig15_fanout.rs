@@ -99,7 +99,10 @@ fn run_one(shards: usize, side: f64, scale: &Scale) -> Measured {
         cluster_interval_secs: 10.0,
         ..MoistConfig::default()
     };
-    let cluster = MoistCluster::new(&store, cfg, shards).expect("cluster");
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(shards)
+        .build()
+        .expect("cluster");
     for &(i, x, y) in &scattered(scale.objects) {
         cluster
             .update(&UpdateMessage {

@@ -166,7 +166,10 @@ fn drive(
 fn run_one(shards: usize, scale: &Scale, rebalance: bool) -> Measured {
     let store = Bigtable::new();
     let cfg = config();
-    let cluster = MoistCluster::new(&store, cfg, shards).expect("cluster");
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(shards)
+        .build()
+        .expect("cluster");
     let mut rng = Rng(0xC0FF_EE00_D15E_A5E5);
     // Warm-up: register the population, let schools form and (load-aware
     // only) let the first rebalances converge, then measure from clean

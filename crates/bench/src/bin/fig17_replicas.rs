@@ -127,7 +127,10 @@ const CANDIDATE_SPOTS: &[(f64, f64)] = &[
 /// pair exists at every fleet size we sweep (asserted, not assumed).
 fn colliding_hot_spots(shards: usize) -> ((f64, f64), (f64, f64)) {
     let store = Bigtable::new();
-    let probe = MoistCluster::new(&store, config(), shards).expect("probe cluster");
+    let probe = MoistCluster::builder(&store, config())
+        .shards(shards)
+        .build()
+        .expect("probe cluster");
     for (i, &a) in CANDIDATE_SPOTS.iter().enumerate() {
         for &b in &CANDIDATE_SPOTS[i + 1..] {
             let pa = probe.shard_for_point(&Point::new(a.0, a.1));
@@ -256,9 +259,11 @@ fn run_one(shards: usize, replicas: usize, read_mix: f64, scale: &Scale) -> Meas
     let spots_pair = colliding_hot_spots(shards);
     let spots = [spots_pair.0, spots_pair.1];
     let store = Bigtable::new();
-    let cluster = MoistCluster::new(&store, config(), shards)
-        .expect("cluster")
-        .with_replicas(replicas);
+    let cluster = MoistCluster::builder(&store, config())
+        .shards(shards)
+        .replicas(replicas)
+        .build()
+        .expect("cluster");
     let mut rng = Rng(0x000F_1617_AB1E);
     seed(&cluster, &mut rng, scale.objects, &spots);
     drive(

@@ -200,10 +200,11 @@ fn run_one(shards: usize, scale: &Scale, ingest: Option<IngestConfig>) -> Measur
         ..MoistConfig::default()
     };
     let pipelined = ingest.is_some();
-    let mut cluster = MoistCluster::new(&store, cfg, shards).expect("cluster");
+    let mut builder = MoistCluster::builder(&store, cfg).shards(shards);
     if let Some(icfg) = ingest {
-        cluster = cluster.with_ingest(icfg);
+        builder = builder.ingest(icfg);
     }
+    let cluster = builder.build().expect("cluster");
     let sims: Vec<Mutex<RoadNetSim>> = (0..scale.clients)
         .map(|i| {
             Mutex::new(RoadNetSim::new(

@@ -173,7 +173,10 @@ fn run_one(setting: &Setting, scale: &Scale) -> Measured {
     let dir = wal_dir(setting.label);
     let _ = std::fs::remove_dir_all(&dir);
     let store = Bigtable::with_config(store_config(setting, &dir));
-    let cluster = MoistCluster::new(&store, tier_config(), scale.shards).expect("cluster");
+    let cluster = MoistCluster::builder(&store, tier_config())
+        .shards(scale.shards)
+        .build()
+        .expect("cluster");
     let sims: Vec<Mutex<RoadNetSim>> = (0..scale.clients)
         .map(|i| {
             Mutex::new(RoadNetSim::new(
@@ -214,9 +217,10 @@ fn run_one(setting: &Setting, scale: &Scale) -> Measured {
     drop(cluster);
     drop(store);
     let profile = CostProfile::default();
-    let (_store, recovered, report) =
-        MoistCluster::recover(store_config(setting, &dir), tier_config(), scale.shards)
-            .expect("recover");
+    let (_store, recovered, report) = MoistCluster::builder(&Bigtable::new(), tier_config())
+        .shards(scale.shards)
+        .recover(store_config(setting, &dir))
+        .expect("recover");
     assert!(report.tables >= 3, "MOIST tables must recover: {report:?}");
     assert!(report.replayed_records > 0, "crash must leave a log tail");
     let recovery_ms = profile.replay_us(report.replayed_records, report.replayed_bytes) / 1e3;
@@ -225,9 +229,10 @@ fn run_one(setting: &Setting, scale: &Scale) -> Measured {
     // snapshot load — zero records replayed.
     recovered.checkpoint().expect("checkpoint");
     drop(recovered);
-    let (_store2, _again, report2) =
-        MoistCluster::recover(store_config(setting, &dir), tier_config(), scale.shards)
-            .expect("re-recover");
+    let (_store2, _again, report2) = MoistCluster::builder(&Bigtable::new(), tier_config())
+        .shards(scale.shards)
+        .recover(store_config(setting, &dir))
+        .expect("re-recover");
     assert_eq!(
         report2.replayed_records, 0,
         "checkpoint must truncate the logs: {report2:?}"

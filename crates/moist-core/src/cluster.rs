@@ -560,6 +560,18 @@ impl SplitTable {
         self.cells.insert(cell)
     }
 
+    /// Reunites a split `cell`: its four children stop routing
+    /// independently and the cell routes whole again. Returns `false` if
+    /// the cell was not split. The table is capped (the cluster tier
+    /// splits at most a handful of business-center cells), so un-splitting
+    /// demand-faded cells is what keeps the cap *re-usable* when the hot
+    /// spot moves — the ownership handover itself (children released, the
+    /// reunited cell adopted at the earliest child deadline) is the
+    /// migration path's `(split, unsplit)` transition.
+    pub fn unsplit(&mut self, cell: u64) -> bool {
+        self.cells.remove(&cell)
+    }
+
     /// The split cells, ascending.
     pub fn cells(&self) -> impl Iterator<Item = u64> + '_ {
         self.cells.iter().copied()
@@ -1408,6 +1420,38 @@ mod tests {
             }
         }
         assert_eq!(covered.len() as u64, 1 << (2 * ll));
+    }
+
+    #[test]
+    fn split_table_cap_is_reusable_through_unsplit() {
+        // The cluster tier caps the table at 16 entries. Un-splitting
+        // must free capacity so a *moving* hot spot recycles the cap
+        // instead of permanently exhausting it.
+        const CAP: usize = 16;
+        let mut splits = SplitTable::new();
+        for cell in 0..CAP as u64 {
+            assert!(splits.split(cell));
+        }
+        assert_eq!(splits.len(), CAP, "table full");
+        // The hot spot fades in the first four cells and moves on.
+        for cell in 0..4u64 {
+            assert!(splits.unsplit(cell));
+            assert!(!splits.unsplit(cell), "double un-split is a no-op");
+            assert!(!splits.is_split(cell));
+        }
+        assert_eq!(splits.len(), CAP - 4, "capacity freed");
+        // The freed capacity takes new hot cells up to the cap again.
+        for cell in 100..104u64 {
+            assert!(splits.split(cell));
+        }
+        assert_eq!(splits.len(), CAP);
+        // An un-split cell routes whole again; a still-split one doesn't.
+        let (cl, ll) = (3u8, 5u8);
+        assert_eq!(splits.route_leaf(1 << (2 * (ll - cl)), cl, ll), 1);
+        assert_ne!(
+            splits.route_leaf(5 << (2 * (ll - cl)), cl, ll) & SPLIT_CHILD_TAG,
+            0
+        );
     }
 
     #[test]

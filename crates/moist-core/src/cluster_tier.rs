@@ -155,7 +155,9 @@
 //! use moist_spatial::{Point, Velocity};
 //!
 //! let store = Bigtable::new();
-//! let cluster = MoistCluster::new(&store, MoistConfig::default(), 4)?;
+//! let cluster = MoistCluster::builder(&store, MoistConfig::default())
+//!     .shards(4)
+//!     .build()?;
 //! cluster.update(&UpdateMessage {
 //!     oid: ObjectId(1),
 //!     loc: Point::new(420.0, 500.0),
@@ -178,6 +180,9 @@ use crate::cluster::{
     weighted_rendezvous_ranked, ClusterReport, ClusterScheduler, ShardWeight, SplitTable,
 };
 use crate::config::MoistConfig;
+use crate::controller::{
+    AutoController, ControllerAction, ControllerConfig, ControllerEvent, Plan,
+};
 use crate::error::{MoistError, Result};
 use crate::ids::ObjectId;
 use crate::ingest::{
@@ -210,8 +215,18 @@ const MAX_REROUTE_ROUNDS: usize = 4;
 const HOT_SPLIT_FACTOR: f64 = 4.0;
 
 /// Upper bound on the split table: splitting is for the handful of
-/// business-center cells, not a second level of hashing.
+/// business-center cells, not a second level of hashing. The cap stays
+/// *re-usable* because rebalance un-splits cells whose demand faded (see
+/// [`UNSPLIT_FACTOR`]) — a hot spot that moves across the map recycles
+/// table entries instead of exhausting them.
 const MAX_SPLIT_CELLS: usize = 16;
+
+/// A split cell whose merged demand rate falls below this multiple of
+/// the mean cell rate is reunited (its four children merge back into one
+/// routing key). Far below [`HOT_SPLIT_FACTOR`] on purpose: the wide gap
+/// is the hysteresis that keeps a cell wobbling around one threshold
+/// from splitting and un-splitting every rebalance.
+const UNSPLIT_FACTOR: f64 = 1.0;
 
 /// Largest per-rebalance multiplicative weight step (up or down): placement
 /// converges over a few rebalances instead of slamming cells around on one
@@ -239,6 +254,9 @@ pub struct RebalanceReport {
     pub reweighted: usize,
     /// Clustering cells newly split one level finer.
     pub split_cells: Vec<u64>,
+    /// Previously-split cells reunited because their measured demand
+    /// faded (freeing split-table capacity for the next hot spot).
+    pub unsplit_cells: Vec<u64>,
     /// Routing keys that changed owner (each handed over at its deadline
     /// phase through the scheduler release/adopt path).
     pub migrated_keys: u64,
@@ -337,6 +355,16 @@ impl ClusterStats {
     /// the benches share.
     pub fn shed_or_backpressure(&self) -> u64 {
         self.ops.shed + self.ingest.overload_shed + self.ingest.backpressure
+    }
+
+    /// True refusals only: pipeline overload sheds plus backpressure
+    /// rejections. School sheds are *excluded* — a shed update was served
+    /// (absorbed by the school model, the client-visible QPS multiplier),
+    /// so it is workload behaving, not capacity failing. This is the
+    /// overload signal the [`AutoController`] scales on; counting school
+    /// sheds there would read MOIST's headline feature as an emergency.
+    pub fn refused(&self) -> u64 {
+        self.ingest.overload_shed + self.ingest.backpressure
     }
 }
 
@@ -554,23 +582,187 @@ pub struct MoistCluster {
     /// consumed by the region fan-out to price slices — empty until the
     /// first rebalance (every cell then prices by its leaf span alone).
     cell_density: RwLock<Arc<HashMap<u64, f64>>>,
+    /// Read-mostly per-clustering-cell *measured* scan price (relative,
+    /// average measured cell ≈ 2.0 to match the density prior's scale),
+    /// learned from the per-range costs the region fan-out pays and
+    /// merged across shards at [`rebalance`](MoistCluster::rebalance).
+    /// Cells never scanned are absent and keep pricing by the
+    /// span×density prior.
+    cell_scan_cost: RwLock<Arc<HashMap<u64, f64>>>,
     /// Ingestion-pipeline knobs (batch size, queue cap, flush deadline,
     /// backpressure policy). Defaulted; tuned via
     /// [`with_ingest`](MoistCluster::with_ingest).
     ingest_cfg: IngestConfig,
     /// The per-shard bounded submission queues plus their counters.
     ingest: IngestQueues,
+    /// The elasticity controller, when one was attached via
+    /// [`ClusterBuilder::controller`]. Mutexed because ticks arrive from
+    /// arbitrary client threads; `try_lock` keeps concurrent tickers
+    /// from serializing on it.
+    controller: Option<Mutex<AutoController>>,
+}
+
+/// The one construction path for [`MoistCluster`]: every knob — fleet
+/// size, replication factor, ingest pipeline, elasticity controller,
+/// archiver — is set on the builder, and both fresh construction
+/// ([`build`](ClusterBuilder::build)) and crash recovery
+/// ([`recover`](ClusterBuilder::recover)) honour all of them. The old
+/// constructors ([`MoistCluster::new`], [`MoistCluster::recover`],
+/// [`with_replicas`](MoistCluster::with_replicas),
+/// [`with_ingest`](MoistCluster::with_ingest)) survive as thin wrappers
+/// over this builder.
+///
+/// ```
+/// # use moist_core::{MoistCluster, MoistConfig, ControllerConfig, IngestConfig};
+/// # use moist_bigtable::Bigtable;
+/// # fn main() -> moist_core::Result<()> {
+/// let store = Bigtable::new();
+/// let cluster = MoistCluster::builder(&store, MoistConfig::default())
+///     .shards(10)
+///     .replicas(2)
+///     .ingest(IngestConfig::default())
+///     .controller(ControllerConfig::default())
+///     .build()?;
+/// assert_eq!(cluster.num_shards(), 10);
+/// assert_eq!(cluster.replicas(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ClusterBuilder {
+    store: Arc<Bigtable>,
+    cfg: MoistConfig,
+    shards: usize,
+    replicas: usize,
+    ingest: Option<IngestConfig>,
+    controller: Option<ControllerConfig>,
+    archiver: Option<Arc<PppArchiver>>,
+}
+
+impl ClusterBuilder {
+    /// Fleet size to start with (default 1; clamped to at least 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Replication factor (default 1 = unreplicated single-owner; see
+    /// [`MoistCluster::with_replicas`] for semantics).
+    pub fn replicas(mut self, k: usize) -> Self {
+        self.replicas = k;
+        self
+    }
+
+    /// Ingestion-pipeline knobs (default [`IngestConfig::default`]; see
+    /// [`MoistCluster::with_ingest`]).
+    pub fn ingest(mut self, cfg: IngestConfig) -> Self {
+        self.ingest = Some(cfg);
+        self
+    }
+
+    /// Attaches a self-tuning elasticity controller (none by default):
+    /// the tier then grows/shrinks/rebalances itself on
+    /// [`controller_tick`](MoistCluster::controller_tick)s.
+    pub fn controller(mut self, cfg: ControllerConfig) -> Self {
+        self.controller = Some(cfg);
+        self
+    }
+
+    /// Streams all non-shed location writes into a shared PPP archiver
+    /// (see [`MoistCluster::with_archiver`]).
+    pub fn archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
+        self.archiver = Some(archiver);
+        self
+    }
+
+    /// Builds the tier over the store the builder was bound to.
+    pub fn build(self) -> Result<MoistCluster> {
+        let store = Arc::clone(&self.store);
+        self.build_over(&store)
+    }
+
+    /// Rebuilds the tier from a crashed durable store, carrying **every**
+    /// builder knob over to the recovered fleet — this is the fix for
+    /// the old [`MoistCluster::recover`], which silently rebuilt with
+    /// default replica/ingest settings. The store the builder was bound
+    /// to is ignored; the recovered store replaces it.
+    ///
+    /// [`Bigtable::recover`] replays every table's snapshot + WAL tail
+    /// to its last consistent cut, then the fleet is built over the
+    /// recovered store exactly as [`build`](ClusterBuilder::build) does
+    /// over a populated one: tables are opened (not recreated), each
+    /// shard's scheduler is re-seeded with its rendezvous slice, and the
+    /// shared object estimate restarts from the recovered affiliation
+    /// rows. Returns the recovered store (callers usually want sessions
+    /// on it), the tier, and the recovery report. `store_cfg.durability`
+    /// must be [`Durability::Wal`](moist_bigtable::Durability::Wal).
+    pub fn recover(
+        self,
+        store_cfg: StoreConfig,
+    ) -> Result<(Arc<Bigtable>, MoistCluster, RecoveryReport)> {
+        let (store, report) = Bigtable::recover(store_cfg)?;
+        let cluster = self.build_over(&store)?;
+        Ok((store, cluster, report))
+    }
+
+    /// The shared construction body: the base fleet (bit-identical to
+    /// what `MoistCluster::new` always built), then each configured knob
+    /// applied through the same public combinator the old API exposed —
+    /// so builder and wrappers cannot drift apart.
+    fn build_over(&self, store: &Arc<Bigtable>) -> Result<MoistCluster> {
+        let mut cluster = MoistCluster::build_base(store, self.cfg, self.shards)?;
+        if let Some(icfg) = self.ingest {
+            cluster = cluster.with_ingest(icfg);
+        }
+        if self.replicas != 1 {
+            cluster = cluster.with_replicas(self.replicas);
+        }
+        if let Some(archiver) = &self.archiver {
+            cluster = cluster.with_archiver(Arc::clone(archiver));
+        }
+        if let Some(ccfg) = self.controller {
+            cluster.controller = Some(Mutex::new(AutoController::new(ccfg)));
+        }
+        Ok(cluster)
+    }
 }
 
 impl MoistCluster {
+    /// Starts a [`ClusterBuilder`] over `store` — **the** construction
+    /// path for the tier. Every knob (fleet size, replicas, ingest,
+    /// controller, archiver) is set on the builder; the legacy
+    /// constructors below are thin wrappers over it.
+    pub fn builder(store: &Arc<Bigtable>, cfg: MoistConfig) -> ClusterBuilder {
+        ClusterBuilder {
+            store: Arc::clone(store),
+            cfg,
+            shards: 1,
+            replicas: 1,
+            ingest: None,
+            controller: None,
+            archiver: None,
+        }
+    }
+
     /// Opens (or on first use creates) the MOIST tables in `store` and
     /// builds a tier of `shards` front-end servers around them.
+    ///
+    /// Wrapper kept for compatibility — prefer
+    /// [`builder`](MoistCluster::builder):
+    /// `MoistCluster::builder(store, cfg).shards(n).build()` is this
+    /// call, bit for bit.
+    pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig, shards: usize) -> Result<Self> {
+        Self::builder(store, cfg).shards(shards).build()
+    }
+
+    /// The base fleet every construction path shares: `shards` servers,
+    /// unit weights, epoch 0, no splits, replication factor 1, default
+    /// ingest pipeline, no controller.
     ///
     /// Each shard gets the rendezvous slice of the clustering schedule it
     /// wins and the shared object-count estimate (seeded from the store's
     /// row count, so a tier over a populated store starts with the right
     /// FLAG `n`).
-    pub fn new(store: &Arc<Bigtable>, cfg: MoistConfig, shards: usize) -> Result<Self> {
+    fn build_base(store: &Arc<Bigtable>, cfg: MoistConfig, shards: usize) -> Result<Self> {
         let shards = shards.max(1);
         let object_estimate = Arc::new(AtomicU64::new(0));
         let ids: Vec<u64> = (0..shards as u64).collect();
@@ -607,33 +799,31 @@ impl MoistCluster {
             split_migrations: AtomicU64::new(0),
             rebalance_baseline: Mutex::new(HashMap::new()),
             cell_density: RwLock::new(Arc::new(HashMap::new())),
+            cell_scan_cost: RwLock::new(Arc::new(HashMap::new())),
             ingest_cfg: IngestConfig::default().normalized(),
             ingest: IngestQueues::default(),
+            controller: None,
         })
     }
 
-    /// Rebuilds a tier from a crashed durable store.
+    /// Rebuilds a tier from a crashed durable store, with **default**
+    /// replica/ingest settings.
     ///
-    /// [`Bigtable::recover`] replays every table's snapshot + WAL tail to
-    /// its last consistent cut, then the fleet is built over the
-    /// recovered store exactly as [`new`](MoistCluster::new) builds one
-    /// over a populated store: the MOIST tables are opened (not
-    /// recreated), each shard's scheduler is re-seeded with its
-    /// rendezvous slice, and the shared object estimate restarts from
-    /// the recovered affiliation rows — so FLAG levels and clustering
-    /// deadlines pick up where the crashed tier acknowledged them.
-    ///
-    /// Returns the recovered store (callers usually want sessions on it),
-    /// the tier, and the recovery report. `store_cfg.durability` must be
-    /// [`Durability::Wal`](moist_bigtable::Durability::Wal).
+    /// Wrapper kept for compatibility — prefer
+    /// [`ClusterBuilder::recover`], which carries the crashed tier's
+    /// replica/ingest/controller knobs onto the recovered fleet instead
+    /// of silently resetting them:
+    /// `MoistCluster::builder(&store, cfg).shards(n).replicas(k).recover(store_cfg)`.
     pub fn recover(
         store_cfg: StoreConfig,
         cfg: MoistConfig,
         shards: usize,
     ) -> Result<(Arc<Bigtable>, Self, RecoveryReport)> {
-        let (store, report) = Bigtable::recover(store_cfg)?;
-        let cluster = MoistCluster::new(&store, cfg, shards)?;
-        Ok((store, cluster, report))
+        // The builder needs a store to bind to; `recover` replaces it
+        // with the recovered one, so an empty placeholder does.
+        Self::builder(&Bigtable::new(), cfg)
+            .shards(shards)
+            .recover(store_cfg)
     }
 
     /// Durability checkpoint: drains the ingest pipeline so every
@@ -653,6 +843,11 @@ impl MoistCluster {
     /// flush deadline and the full-queue policy. Degenerate sizes are
     /// clamped to workable minima. The synchronous
     /// [`update`](MoistCluster::update) path is unaffected.
+    ///
+    /// Wrapper kept for compatibility — prefer
+    /// [`ClusterBuilder::ingest`], which is this call applied at build
+    /// time (and the only form [`ClusterBuilder::recover`] can carry
+    /// across a crash).
     pub fn with_ingest(mut self, cfg: IngestConfig) -> Self {
         self.ingest_cfg = cfg.normalized();
         self
@@ -682,6 +877,11 @@ impl MoistCluster {
     /// each key's *read* path and pre-arms a leave: when the primary
     /// dies, the rank-1 follower is already serving the key's reads and
     /// adopts its clustering deadlines through the normal migration path.
+    ///
+    /// Wrapper kept for compatibility — prefer
+    /// [`ClusterBuilder::replicas`], which is this call applied at build
+    /// time (and the only form [`ClusterBuilder::recover`] can carry
+    /// across a crash).
     pub fn with_replicas(self, k: usize) -> Self {
         {
             let mut guard = self.membership.write();
@@ -1016,10 +1216,17 @@ impl MoistCluster {
     ///   across shards; cells whose rate exceeds [`HOT_SPLIT_FACTOR`]×
     ///   the mean cell rate split one level finer (bounded by
     ///   [`MAX_SPLIT_CELLS`]), so a single business-center cell stops
-    ///   pinning whichever shard owns it.
-    /// * **Density** — the merged per-cell rates also refresh the
-    ///   relative density map the region fan-out uses to price its
-    ///   balancing pass.
+    ///   pinning whichever shard owns it. Split cells whose demand later
+    ///   fades below [`UNSPLIT_FACTOR`]× the mean **un-split** — the four
+    ///   children reunite through the same handover path — so the split
+    ///   table's cap recycles as the hot spot moves.
+    /// * **Density & scan prices** — the merged per-cell rates refresh
+    ///   the relative density map the region fan-out uses to price its
+    ///   balancing pass, and the per-cell scan costs *measured* by past
+    ///   fan-out partials (see
+    ///   [`LoadTracker::note_cell_scan`](crate::load::LoadTracker::note_cell_scan))
+    ///   merge into a learned price map that replaces the density prior
+    ///   for every cell that has actually been scanned.
     ///
     /// Returns what changed; when nothing does (level fleet, no hot
     /// cells) the membership — and its epoch — is left untouched. The
@@ -1035,6 +1242,7 @@ impl MoistCluster {
         // ---- measure: per-shard utilization + merged per-cell rates ----
         let mut utils: Vec<f64> = Vec::with_capacity(old.shards.len());
         let mut cell_rates: HashMap<u64, f64> = HashMap::new();
+        let mut scan_samples: HashMap<u64, (f64, u32)> = HashMap::new();
         {
             let mut baseline = self.rebalance_baseline.lock();
             for entry in &old.shards {
@@ -1042,6 +1250,14 @@ impl MoistCluster {
                 let elapsed = server.elapsed_us();
                 for (cell, rates) in server.load_rates(now) {
                     *cell_rates.entry(cell).or_insert(0.0) += rates.total();
+                }
+                // Different shards may have scanned the same cell (the
+                // balancing pass moves slices around); their learned
+                // costs average.
+                for (cell, us) in server.cell_scan_costs() {
+                    let e = scan_samples.entry(cell).or_insert((0.0, 0));
+                    e.0 += us;
+                    e.1 += 1;
                 }
                 let prev = baseline.insert(entry.id, elapsed).unwrap_or(0.0);
                 utils.push((elapsed - prev).max(0.0));
@@ -1080,11 +1296,12 @@ impl MoistCluster {
             }
         }
 
-        // ---- splits from per-cell rates ----
+        // ---- splits (and un-splits) from per-cell rates ----
         let mut splits = (*old.splits).clone();
         let mut split_now: Vec<u64> = Vec::new();
+        let mut unsplit_now: Vec<u64> = Vec::new();
         if self.cfg.clustering_level < self.cfg.space.leaf_level {
-            let unsplit: Vec<(u64, f64)> = cell_rates
+            let candidates: Vec<(u64, f64)> = cell_rates
                 .iter()
                 .filter(|(cell, &rate)| rate > 0.0 && !splits.is_split(**cell))
                 .map(|(&cell, &rate)| (cell, rate))
@@ -1095,7 +1312,23 @@ impl MoistCluster {
             let mean_rate = cell_rates.values().sum::<f64>()
                 / cells_at_level(self.cfg.clustering_level).max(1) as f64;
             if mean_rate > 0.0 {
-                let mut hot: Vec<(u64, f64)> = unsplit
+                // Un-split first: demand observations key by the *parent*
+                // cell even while it is split, so a split cell's merged
+                // EWMA rate compares directly against the same mean the
+                // split threshold uses. A cell whose demand faded below
+                // [`UNSPLIT_FACTOR`]× the mean reunites, freeing
+                // split-table capacity for wherever the hot spot moved;
+                // the wide gap to [`HOT_SPLIT_FACTOR`] is the hysteresis.
+                // An idle map (`mean_rate == 0`) deliberately un-splits
+                // nothing: no evidence, no churn.
+                for cell in splits.cells().collect::<Vec<u64>>() {
+                    let rate = cell_rates.get(&cell).copied().unwrap_or(0.0);
+                    if rate < UNSPLIT_FACTOR * mean_rate {
+                        splits.unsplit(cell);
+                        unsplit_now.push(cell);
+                    }
+                }
+                let mut hot: Vec<(u64, f64)> = candidates
                     .into_iter()
                     .filter(|&(_, rate)| rate >= HOT_SPLIT_FACTOR * mean_rate)
                     .collect();
@@ -1126,15 +1359,37 @@ impl MoistCluster {
             }
         }
 
+        // ---- refresh the fan-out's *measured* scan-price map ----
+        if !scan_samples.is_empty() {
+            let merged: Vec<(u64, f64)> = scan_samples
+                .iter()
+                .map(|(&cell, &(sum, n))| (cell, sum / n as f64))
+                .collect();
+            let mean = merged.iter().map(|&(_, us)| us).sum::<f64>() / merged.len() as f64;
+            if mean > 0.0 {
+                // Scaled so the average *measured* cell prices at 2.0 —
+                // the scale the density prior averages to (1 + mean
+                // relative density = 2) — so measured cells and
+                // prior-priced (never-scanned) cells mix consistently in
+                // one cost function.
+                let prices: HashMap<u64, f64> = merged
+                    .into_iter()
+                    .map(|(cell, us)| (cell, 2.0 * us / mean))
+                    .collect();
+                *self.cell_scan_cost.write() = Arc::new(prices);
+            }
+        }
+
         let weights_changed = weights
             .iter()
             .zip(&old.weights)
             .any(|(a, b)| (a - b).abs() > 1e-9);
-        if !weights_changed && split_now.is_empty() {
+        if !weights_changed && split_now.is_empty() && unsplit_now.is_empty() {
             return Ok(RebalanceReport {
                 epoch: old.epoch,
                 reweighted: 0,
                 split_cells: Vec::new(),
+                unsplit_cells: Vec::new(),
                 migrated_keys: 0,
             });
         }
@@ -1161,8 +1416,107 @@ impl MoistCluster {
             epoch: old.epoch + 1,
             reweighted,
             split_cells: split_now,
+            unsplit_cells: unsplit_now,
             migrated_keys: migrated,
         })
+    }
+
+    /// Drives the elasticity controller one tick of virtual time: a
+    /// no-op unless a controller was attached
+    /// ([`ClusterBuilder::controller`]) *and* an evaluation is due at
+    /// `now`. Call it from the client loop next to
+    /// [`run_due_clustering`](MoistCluster::run_due_clustering) — the
+    /// controller is deliberately thread-free and deterministic, exactly
+    /// like the load layer it reads.
+    ///
+    /// Each closed window yields at most one scaling action (plus
+    /// rebalances on their own cadence); the actions executed this tick
+    /// are returned and logged to
+    /// [`controller_events`](MoistCluster::controller_events).
+    /// Concurrent tickers don't serialize: whoever holds the controller
+    /// evaluates, everyone else returns immediately. A planned removal
+    /// that races an operator's own `remove_shard` (the victim is
+    /// already gone) is skipped, not an error; the min-fleet clamp is
+    /// re-checked against the live membership at execution time.
+    pub fn controller_tick(&self, now: Timestamp) -> Result<Vec<ControllerAction>> {
+        let Some(ctl) = &self.controller else {
+            return Ok(Vec::new());
+        };
+        let Some(mut guard) = ctl.try_lock() else {
+            return Ok(Vec::new());
+        };
+        if !guard.due(now) {
+            return Ok(Vec::new());
+        }
+        let stats = self.cluster_stats(now);
+        let split_table_full = stats.split_cells.len() >= MAX_SPLIT_CELLS;
+        let plans = guard.plan(now, &stats, self.ingest_cfg.queue_cap, split_table_full);
+        let mut actions = Vec::new();
+        for plan in plans {
+            match plan {
+                Plan::Rebalance => {
+                    let report = self.rebalance(now)?;
+                    let action = ControllerAction::Rebalance {
+                        epoch: report.epoch,
+                    };
+                    guard.note_action(now, action, self.num_shards(), "rebalance cadence");
+                    actions.push(action);
+                }
+                Plan::Add { count, reason } => {
+                    for _ in 0..count {
+                        if self.num_shards() >= guard.config().max_shards {
+                            break;
+                        }
+                        let id = self.add_shard()?;
+                        let action = ControllerAction::AddShard { id };
+                        guard.note_action(now, action, self.num_shards(), reason);
+                        actions.push(action);
+                    }
+                }
+                Plan::Remove { victim, reason } => {
+                    if self.num_shards() <= guard.config().min_shards {
+                        continue;
+                    }
+                    match self.remove_shard(victim) {
+                        Ok(()) => {
+                            let action = ControllerAction::RemoveShard { id: victim };
+                            guard.note_action(now, action, self.num_shards(), reason);
+                            actions.push(action);
+                        }
+                        // The victim raced away (operator kill, chaos):
+                        // the plan is stale, not wrong.
+                        Err(MoistError::NoSuchShard(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(actions)
+    }
+
+    /// The controller's decision log so far (empty when no controller is
+    /// attached), oldest first — the observable trace the chaos tests
+    /// assert hysteresis on.
+    pub fn controller_events(&self) -> Vec<ControllerEvent> {
+        self.controller
+            .as_ref()
+            .map(|c| c.lock().events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The attached controller's (normalized) configuration, if any.
+    pub fn controller_config(&self) -> Option<ControllerConfig> {
+        self.controller.as_ref().map(|c| c.lock().config())
+    }
+
+    /// The learned per-cell scan prices the region fan-out currently
+    /// uses (relative; average measured cell ≈ 2.0), refreshed by
+    /// [`rebalance`](MoistCluster::rebalance) from the per-range costs
+    /// past fan-outs measured. Empty until a fan-out has scanned and a
+    /// rebalance has folded — cells absent here price by the
+    /// span×density prior.
+    pub fn learned_scan_costs(&self) -> HashMap<u64, f64> {
+        self.cell_scan_cost.read().as_ref().clone()
     }
 
     /// The clustering cells currently split one level finer.
@@ -1682,6 +2036,7 @@ impl MoistCluster {
             // as expensive. The client then waits for the *mean*-ish
             // slice, not the largest ownership share.
             let density = self.cell_density.read().clone();
+            let scan_price = self.cell_scan_cost.read().clone();
             let shift = 2 * (leaf_level - clustering_level) as u64;
             let cost_of = move |start: u64, end: u64| -> f64 {
                 let mut cost = 0.0;
@@ -1690,18 +2045,29 @@ impl MoistCluster {
                     let cell = s >> shift;
                     let e = end.min((cell + 1) << shift);
                     let frac = (e - s) as f64 / (1u64 << shift) as f64;
-                    // The demand density is a *prior*, capped: schooling
-                    // collapses a hot cell's objects into few leader rows,
-                    // so update rate overstates scan cost — an uncapped
-                    // density would make the balancer dedicate shards to
-                    // cheap-to-scan hot cells and cram the real rows
-                    // together elsewhere.
-                    let d = density
-                        .get(&cell)
-                        .copied()
-                        .unwrap_or(0.0)
-                        .min(MAX_SCAN_DENSITY);
-                    cost += frac * (1.0 + d);
+                    let price = match scan_price.get(&cell) {
+                        // Measured beats modelled: cells the fan-out has
+                        // scanned before price at their learned per-cell
+                        // scan cost (merged across shards at rebalance),
+                        // uncapped — a measurement needs no guard against
+                        // overstating itself.
+                        Some(&p) => p,
+                        // Never-scanned cells fall back to the demand
+                        // density *prior*, capped: schooling collapses a
+                        // hot cell's objects into few leader rows, so
+                        // update rate overstates scan cost — an uncapped
+                        // density would make the balancer dedicate shards
+                        // to cheap-to-scan hot cells and cram the real
+                        // rows together elsewhere.
+                        None => {
+                            1.0 + density
+                                .get(&cell)
+                                .copied()
+                                .unwrap_or(0.0)
+                                .min(MAX_SCAN_DENSITY)
+                        }
+                    };
+                    cost += frac * price;
                     s = e;
                 }
                 cost
@@ -2907,6 +3273,323 @@ mod tests {
             let pos = cluster.shard_for_point(&m.loc);
             let upd = cluster.with_shard(pos, |s| s.stats().updates).unwrap();
             assert!(upd > 0, "message {i} must have landed on shard {pos}");
+        }
+    }
+
+    #[test]
+    fn builder_and_legacy_constructors_build_identical_tiers() {
+        let cfg = MoistConfig::default();
+        let cells = cells_at_level(cfg.clustering_level);
+
+        // `new(n)` vs `builder().shards(n).build()`: same fleet, same
+        // routing table, same defaults everywhere.
+        let legacy = MoistCluster::new(&Bigtable::new(), cfg, 6).unwrap();
+        let built = MoistCluster::builder(&Bigtable::new(), cfg)
+            .shards(6)
+            .build()
+            .unwrap();
+        assert_eq!(legacy.num_shards(), built.num_shards());
+        assert_eq!(legacy.shard_ids(), built.shard_ids());
+        assert_eq!(legacy.epoch(), built.epoch());
+        assert_eq!(legacy.shard_weights(), built.shard_weights());
+        assert_eq!(legacy.replicas(), built.replicas());
+        assert_eq!(legacy.ingest_config(), built.ingest_config());
+        assert!(legacy.split_cells().is_empty() && built.split_cells().is_empty());
+        assert!(built.controller_config().is_none());
+        for index in 0..cells {
+            let cell = CellId {
+                level: cfg.clustering_level,
+                index,
+            };
+            assert_eq!(
+                legacy.shard_for_cell(cell),
+                built.shard_for_cell(cell),
+                "routing diverged on cell {index}"
+            );
+        }
+
+        // `with_replicas` / `with_ingest` combinators vs builder knobs.
+        let icfg = IngestConfig {
+            batch_size: 16,
+            queue_cap: 128,
+            flush_deadline_secs: 0.25,
+            policy: BackpressurePolicy::Shed,
+        };
+        let legacy = MoistCluster::new(&Bigtable::new(), cfg, 5)
+            .unwrap()
+            .with_replicas(2)
+            .with_ingest(icfg);
+        let built = MoistCluster::builder(&Bigtable::new(), cfg)
+            .shards(5)
+            .replicas(2)
+            .ingest(icfg)
+            .build()
+            .unwrap();
+        assert_eq!(legacy.replicas(), built.replicas());
+        assert_eq!(legacy.ingest_config(), built.ingest_config());
+        assert_eq!(legacy.epoch(), built.epoch());
+        for index in 0..cells {
+            let cell = CellId {
+                level: cfg.clustering_level,
+                index,
+            };
+            assert_eq!(legacy.shard_for_cell(cell), built.shard_for_cell(cell));
+        }
+        // A controller attached through the builder reports its
+        // (normalized) config back.
+        let ccfg = ControllerConfig {
+            min_shards: 2,
+            max_shards: 8,
+            ..ControllerConfig::default()
+        };
+        let with_ctl = MoistCluster::builder(&Bigtable::new(), cfg)
+            .shards(2)
+            .controller(ccfg)
+            .build()
+            .unwrap();
+        assert_eq!(with_ctl.controller_config(), Some(ccfg.normalized()));
+    }
+
+    #[test]
+    fn rebalance_unsplits_cells_whose_demand_faded() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            epsilon: 50.0,
+            clustering_level: 3, // 64 cells
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        let hot_a = Point::new(437.0, 437.0);
+        let a_cell = cfg.space.cell_at(cfg.clustering_level, &hot_a).index;
+        let hot_b = Point::new(100.0, 900.0);
+        let b_cell = cfg.space.cell_at(cfg.clustering_level, &hot_b).index;
+        assert_ne!(a_cell, b_cell);
+        // Phase one: hammer cell A, 80/20 like the split test above.
+        let mut oid = 0u64;
+        for sec in 0..40u64 {
+            for i in 0..25u64 {
+                let (x, y) = if i < 20 {
+                    (hot_a.x + (i % 5) as f64, hot_a.y + (i / 5) as f64)
+                } else {
+                    (
+                        31.0 + 211.0 * (oid % 4) as f64,
+                        31.0 + 311.0 * (oid % 3) as f64,
+                    )
+                };
+                cluster
+                    .update(&msg(oid % 600, x, y, 0.0, sec as f64 + i as f64 / 25.0))
+                    .unwrap();
+                oid += 1;
+            }
+        }
+        let report = cluster.rebalance(Timestamp::from_secs(40)).unwrap();
+        assert!(report.split_cells.contains(&a_cell));
+        assert!(report.unsplit_cells.is_empty());
+        // Phase two: the hot spot moves to cell B; A goes silent and its
+        // EWMA rate decays far below the (B-driven) mean.
+        for sec in 40..80u64 {
+            for i in 0..25u64 {
+                let (x, y) = if i < 20 {
+                    (hot_b.x + (i % 5) as f64, hot_b.y + (i / 5) as f64)
+                } else {
+                    (
+                        531.0 + 111.0 * (oid % 4) as f64,
+                        31.0 + 211.0 * (oid % 3) as f64,
+                    )
+                };
+                cluster
+                    .update(&msg(oid % 600, x, y, 0.0, sec as f64 + i as f64 / 25.0))
+                    .unwrap();
+                oid += 1;
+            }
+        }
+        let report = cluster.rebalance(Timestamp::from_secs(80)).unwrap();
+        assert!(
+            report.unsplit_cells.contains(&a_cell),
+            "faded cell {a_cell} must un-split: {report:?}"
+        );
+        assert!(
+            report.split_cells.contains(&b_cell),
+            "the new hot cell {b_cell} must split: {report:?}"
+        );
+        let split = cluster.split_cells();
+        assert!(!split.contains(&a_cell), "split table still holds {a_cell}");
+        assert!(split.contains(&b_cell));
+        // The handover through the (split → plain) transition kept the
+        // routing-key partition exact, and updates keep landing — both to
+        // the reunited cell and the freshly split one.
+        assert_routing_partition(&cluster);
+        let before = cluster.stats().updates;
+        cluster
+            .update(&msg(7_001, hot_a.x, hot_a.y, 0.0, 81.0))
+            .unwrap();
+        cluster
+            .update(&msg(7_002, hot_b.x, hot_b.y, 0.0, 81.0))
+            .unwrap();
+        assert_eq!(cluster.stats().updates, before + 2);
+        assert!(cluster
+            .position(ObjectId(7_001), Timestamp::from_secs(81))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn region_fanout_learns_scan_costs_that_reprice_slices() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        let cluster = MoistCluster::new(&store, cfg, 4).unwrap();
+        let dense = Point::new(437.0, 437.0);
+        let dense_cell = cfg.space.cell_at(cfg.clustering_level, &dense).index;
+        let sparse = Point::new(100.0, 900.0);
+        let sparse_cell = cfg.space.cell_at(cfg.clustering_level, &sparse).index;
+        // 200 objects crowd one cell, 5 sit in another.
+        for i in 0..200u64 {
+            let x = dense.x + (i % 20) as f64;
+            let y = dense.y + (i / 20) as f64;
+            cluster.update(&msg(i, x, y, 0.0, 0.0)).unwrap();
+        }
+        for i in 200..205u64 {
+            cluster
+                .update(&msg(i, sparse.x + (i % 5) as f64, sparse.y, 0.0, 0.0))
+                .unwrap();
+        }
+        assert!(cluster.learned_scan_costs().is_empty());
+        // A whole-map region query fans out over every shard's slices;
+        // each shard attributes its measured per-range scan cost back to
+        // the clustering cells the range covered.
+        let rect = Rect::new(0.0, 0.0, 999.0, 999.0);
+        let (hits, _) = cluster.region(&rect, Timestamp::from_secs(1), 0.0).unwrap();
+        assert_eq!(hits.len(), 205);
+        // Rebalance merges the per-shard samples into the shared price map.
+        cluster.rebalance(Timestamp::from_secs(5)).unwrap();
+        let learned = cluster.learned_scan_costs();
+        assert!(!learned.is_empty(), "fan-out scans must leave cost samples");
+        let dense_price = learned.get(&dense_cell).copied().unwrap_or(0.0);
+        let sparse_price = learned.get(&sparse_cell).copied().unwrap_or(f64::MAX);
+        assert!(
+            dense_price > sparse_price,
+            "200-object cell must price above 5-object cell: \
+             dense {dense_price} vs sparse {sparse_price}"
+        );
+        // Learned prices are normalized to average 2.0 over measured cells
+        // (the density prior's scale), so they stay comparable with the
+        // prior used for never-scanned cells.
+        let mean = learned.values().sum::<f64>() / learned.len() as f64;
+        assert!((mean - 2.0).abs() < 1e-6, "price scale drifted: {mean}");
+        // The repriced fan-out still answers exactly.
+        let (hits, _) = cluster.region(&rect, Timestamp::from_secs(6), 0.0).unwrap();
+        assert_eq!(hits.len(), 205);
+    }
+
+    #[test]
+    fn controller_grows_on_surge_and_shrinks_back_when_idle() {
+        let store = Bigtable::new();
+        let cfg = MoistConfig {
+            clustering_level: 3,
+            cluster_interval_secs: 10.0,
+            ..MoistConfig::default()
+        };
+        // A tier with no controller ticks as a no-op.
+        let bare = MoistCluster::new(&store, cfg, 2).unwrap();
+        assert!(bare
+            .controller_tick(Timestamp::from_secs(1))
+            .unwrap()
+            .is_empty());
+        assert!(bare.controller_events().is_empty());
+
+        let ccfg = ControllerConfig {
+            min_shards: 2,
+            max_shards: 5,
+            window_secs: 2.0,
+            cooldown_secs: 5.0,
+            rebalance_every_secs: 10.0,
+            // Virtual busy-µs per virtual second: tiny, so the surge below
+            // clearly saturates it and idling clearly undershoots it.
+            target_shard_busy_us: 300.0,
+            ..ControllerConfig::default()
+        };
+        let store = Bigtable::new();
+        let cluster = MoistCluster::builder(&store, cfg)
+            .shards(2)
+            .controller(ccfg)
+            .build()
+            .unwrap();
+        // Surge: 100 updates/s spread over the map, controller ticking
+        // every virtual second like a client loop would.
+        let mut oid = 0u64;
+        for sec in 0..20u64 {
+            for i in 0..100u64 {
+                let x = 15.0 + 970.0 * ((oid * 7) % 64 % 8) as f64 / 8.0;
+                let y = 15.0 + 970.0 * ((oid * 7) % 64 / 8) as f64 / 8.0;
+                cluster
+                    .update(&msg(oid % 900, x, y, 0.0, sec as f64 + i as f64 / 100.0))
+                    .unwrap();
+                oid += 1;
+            }
+            cluster
+                .controller_tick(Timestamp::from_secs(sec + 1))
+                .unwrap();
+        }
+        let peak = cluster.num_shards();
+        assert!(
+            peak > 2,
+            "surge must grow the fleet past its floor, stuck at {peak}"
+        );
+        assert!(peak <= 5, "fleet exceeded max_shards: {peak}");
+        // Idle: no traffic, just ticks. Each closed window under the
+        // scale-down band sheds one shard per cooldown until the floor.
+        for sec in 20..80u64 {
+            cluster
+                .controller_tick(Timestamp::from_secs(sec + 1))
+                .unwrap();
+        }
+        assert_eq!(
+            cluster.num_shards(),
+            2,
+            "idle fleet must shrink back to min_shards"
+        );
+        assert_routing_partition(&cluster);
+        // Every scaling decision is logged, and decisions from different
+        // ticks respect the cooldown (same-tick batches share one stamp).
+        let events = cluster.controller_events();
+        let adds = events
+            .iter()
+            .filter(|e| matches!(e.action, ControllerAction::AddShard { .. }))
+            .count();
+        let removes = events
+            .iter()
+            .filter(|e| matches!(e.action, ControllerAction::RemoveShard { .. }))
+            .count();
+        assert!(adds >= 1, "no add events logged: {events:?}");
+        assert_eq!(
+            removes,
+            peak - 2,
+            "every removal back to the floor must be logged: {events:?}"
+        );
+        let scale_times: Vec<f64> = events
+            .iter()
+            .filter(|e| e.action.is_scaling())
+            .map(|e| e.at_secs)
+            .collect();
+        for pair in scale_times.windows(2) {
+            let gap = pair[1] - pair[0];
+            assert!(
+                gap == 0.0 || gap >= ccfg.cooldown_secs - 1e-9,
+                "scale events {gap}s apart violate the {}s cooldown: {events:?}",
+                ccfg.cooldown_secs
+            );
+        }
+        // All objects written during the surge are still served.
+        for i in [0u64, 450, 899] {
+            assert!(cluster
+                .position(ObjectId(i), Timestamp::from_secs(80))
+                .unwrap()
+                .is_some());
         }
     }
 }

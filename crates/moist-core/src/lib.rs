@@ -20,7 +20,10 @@
 //!   join/leave (§4.3.3);
 //! * [`ingest`] — the batched, pipelined ingestion tier: bounded per-shard
 //!   submission queues with size/deadline flush and typed backpressure,
-//!   feeding the batched apply path (§4.1's batch-write discount).
+//!   feeding the batched apply path (§4.1's batch-write discount);
+//! * [`controller`] — the self-tuning elasticity controller: windows the
+//!   tier's measured signals and grows/shrinks/rebalances the fleet
+//!   itself under hysteresis (§6.4's scale-out, operator-free).
 //!
 //! ```
 //! use moist_bigtable::{Bigtable, Timestamp};
@@ -47,6 +50,7 @@ pub mod cluster;
 pub mod cluster_tier;
 pub mod codec;
 pub mod config;
+pub mod controller;
 pub mod error;
 pub mod flag;
 pub mod hexgrid;
@@ -67,9 +71,12 @@ pub use cluster::{
     weighted_rendezvous_owner, weighted_rendezvous_owners, ClusterReport, ClusterScheduler,
     ShardWeight, SplitTable, SPLIT_CHILD_TAG,
 };
-pub use cluster_tier::{ClusterStats, MoistCluster, RebalanceReport, ShardLoadStats};
+pub use cluster_tier::{
+    ClusterBuilder, ClusterStats, MoistCluster, RebalanceReport, ShardLoadStats,
+};
 pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};
+pub use controller::{AutoController, ControllerAction, ControllerConfig, ControllerEvent};
 pub use error::{MoistError, Result};
 pub use flag::{FlagStats, FlagTuner};
 pub use hexgrid::{HexBin, HexGrid};

@@ -40,6 +40,12 @@ const ALPHA: f64 = 0.5;
 /// pruned — a cell that went cold stops occupying tracker memory.
 const PRUNE_RATE: f64 = 1e-6;
 
+/// EWMA smoothing for per-cell measured scan cost. Scan samples are
+/// rarer than updates (one per fan-out slice), so smoothing is gentler
+/// than the demand ALPHA: a single anomalous scan should not reprice a
+/// cell.
+const SCAN_COST_ALPHA: f64 = 0.3;
+
 /// One cell's smoothed demand, in events per virtual second.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellRates {
@@ -85,6 +91,11 @@ pub struct LoadTracker {
     scatter_slices: u64,
     /// Total virtual µs spent serving scattered partial scans.
     scatter_us: f64,
+    /// Measured scan cost per clustering cell, in virtual µs per
+    /// *full-cell* scan (samples covering a fraction of a cell are
+    /// extrapolated before folding). Fed from the per-range costs the
+    /// region fan-out already pays for ([`Self::note_cell_scan`]).
+    scan_costs: HashMap<u64, f64>,
 }
 
 impl Default for LoadTracker {
@@ -102,6 +113,7 @@ impl LoadTracker {
             cells: HashMap::new(),
             scatter_slices: 0,
             scatter_us: 0.0,
+            scan_costs: HashMap::new(),
         }
     }
 
@@ -141,6 +153,33 @@ impl LoadTracker {
     /// `(slices served, total virtual µs)` of scattered partial scans.
     pub fn scatter_slice_stats(&self) -> (u64, f64) {
         (self.scatter_slices, self.scatter_us)
+    }
+
+    /// Folds one measured scan sample for clustering cell `cell`:
+    /// `cost_us` virtual µs were spent scanning `frac` of the cell's key
+    /// span (`0 < frac ≤ 1`). The sample is extrapolated to a full-cell
+    /// cost and folded into a per-cell EWMA, replacing the span×density
+    /// *prior* with a *measured* price the next time the fan-out planner
+    /// slices a scattered query.
+    pub fn note_cell_scan(&mut self, cell: u64, frac: f64, cost_us: f64) {
+        // NaN fracs/costs are rejected along with non-positive ones.
+        if frac.is_nan() || frac <= 0.0 || cost_us.is_nan() || cost_us < 0.0 {
+            return;
+        }
+        let sample = cost_us / frac.min(1.0);
+        self.scan_costs
+            .entry(cell)
+            .and_modify(|c| *c = (1.0 - SCAN_COST_ALPHA) * *c + SCAN_COST_ALPHA * sample)
+            .or_insert(sample);
+    }
+
+    /// The learned per-cell scan costs (virtual µs per full-cell scan),
+    /// in ascending cell order. Cells never scanned are absent — callers
+    /// fall back to their prior for those.
+    pub fn cell_scan_costs(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self.scan_costs.iter().map(|(&c, &v)| (c, v)).collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
     }
 
     /// The per-cell rates as of `now`: every cell's pending windows fold
@@ -289,6 +328,28 @@ mod tests {
         let (n, us) = t.scatter_slice_stats();
         assert_eq!(n, 3);
         assert!((us - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_scan_costs_extrapolate_and_smooth() {
+        let mut t = LoadTracker::default();
+        assert!(t.cell_scan_costs().is_empty());
+        // Half of cell 5 cost 100µs → a full-cell estimate of 200µs.
+        t.note_cell_scan(5, 0.5, 100.0);
+        assert_eq!(t.cell_scan_costs(), vec![(5, 200.0)]);
+        // A second, pricier sample moves the EWMA toward it, gently.
+        t.note_cell_scan(5, 1.0, 1000.0);
+        let cost = t.cell_scan_costs()[0].1;
+        assert!(cost > 200.0 && cost < 1000.0, "EWMA in between: {cost}");
+        // Degenerate samples are ignored.
+        t.note_cell_scan(6, 0.0, 50.0);
+        t.note_cell_scan(7, 0.5, -1.0);
+        assert_eq!(t.cell_scan_costs().len(), 1);
+        // A dense cell prices above a sparse one.
+        t.note_cell_scan(8, 1.0, 10.0);
+        let costs = t.cell_scan_costs();
+        assert!(costs[0].1 > costs[1].1);
+        assert_eq!((costs[0].0, costs[1].0), (5, 8));
     }
 
     #[test]

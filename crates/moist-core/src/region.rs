@@ -65,6 +65,15 @@ pub struct RegionPartial {
     pub hits: Vec<Neighbor>,
     /// This partial's own scan counters and virtual cost.
     pub stats: RegionStats,
+    /// Measured virtual µs per scanned leaf range: `(range, cost_us)` in
+    /// scan order. This is the raw signal for per-cell scan-cost learning
+    /// — the serving shard apportions each range's measured cost onto the
+    /// clustering cells it overlaps and feeds
+    /// [`crate::load::LoadTracker::note_cell_scan`]. Only the range scans
+    /// themselves are attributed; school expansion cost stays in the
+    /// aggregate `stats.cost_us` (followers are fetched in one batch
+    /// across ranges, so splitting that cost per range would be a guess).
+    pub range_costs: Vec<(LeafRange, f64)>,
 }
 
 /// Plans a region query: the maximal contiguous leaf-index ranges covering
@@ -313,11 +322,14 @@ pub fn region_partial_scan(
     };
     let cost0 = s.elapsed_us();
     let mut leaders = Vec::new();
+    let mut range_costs = Vec::with_capacity(ranges.len());
     for &(start, end) in ranges {
         if end <= start {
             continue;
         }
+        let before = s.elapsed_us();
         let entries = tables.spatial_scan_range(s, start, end, None)?;
+        range_costs.push(((start, end), s.elapsed_us() - before));
         stats.ranges_scanned += 1;
         stats.leaders_fetched += entries.len();
         leaders.extend(entries);
@@ -361,7 +373,11 @@ pub fn region_partial_scan(
         }
     }
     stats.cost_us = s.elapsed_us() - cost0;
-    Ok(RegionPartial { hits, stats })
+    Ok(RegionPartial {
+        hits,
+        stats,
+        range_costs,
+    })
 }
 
 /// Folds partial results into the final region answer: hits are moved (not

@@ -241,6 +241,14 @@ impl MoistServer {
         self.load.scatter_slice_stats()
     }
 
+    /// Learned per-clustering-cell scan costs (virtual µs per full-cell
+    /// scan, ascending cell order), measured from the partial scans this
+    /// server executed. The cluster tier merges these across shards at
+    /// rebalance to price fan-out slices.
+    pub fn cell_scan_costs(&self) -> Vec<(u64, f64)> {
+        self.load.cell_scan_costs()
+    }
+
     /// Current object-count estimate feeding FLAG's initial level guess.
     pub fn object_estimate(&self) -> u64 {
         self.object_estimate.load(Ordering::Relaxed)
@@ -426,6 +434,28 @@ impl MoistServer {
             true,
         )?;
         self.load.note_scatter_slice(part.stats.cost_us);
+        // Scan-cost learning: apportion each range's measured cost onto
+        // the clustering cells it overlaps (span-proportional within the
+        // range), so the tier's next rebalance can price fan-out slices
+        // by what scanning these cells actually cost instead of the
+        // span×density prior.
+        let shift = 2 * (self.cfg.space.leaf_level - self.cfg.clustering_level) as u64;
+        let cell_span = (1u64 << shift) as f64;
+        for &((start, end), cost_us) in &part.range_costs {
+            let total = (end - start) as f64;
+            if total <= 0.0 {
+                continue;
+            }
+            let mut s = start;
+            while s < end {
+                let cell = s >> shift;
+                let e = end.min((cell + 1) << shift);
+                let covered = (e - s) as f64;
+                self.load
+                    .note_cell_scan(cell, covered / cell_span, cost_us * covered / total);
+                s = e;
+            }
+        }
         Ok(part)
     }
 

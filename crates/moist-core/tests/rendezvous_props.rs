@@ -505,12 +505,14 @@ proptest! {
         let mut rng = TestRng::for_case("epoch_cross_flush", seed);
         let store = Bigtable::new();
         let shards = 2 + rng.below(4) as usize; // 2..=5 live shards
-        let cluster = MoistCluster::new(&store, MoistConfig::default(), shards)
-            .unwrap()
-            .with_ingest(IngestConfig {
+        let cluster = MoistCluster::builder(&store, MoistConfig::default())
+            .shards(shards)
+            .ingest(IngestConfig {
                 batch_size: 4096, // nothing size-flushes: only the epoch bump drains
                 ..IngestConfig::default()
-            });
+            })
+            .build()
+            .unwrap();
 
         // Enqueue a randomized spread of registrations under epoch E.
         let n = 24 + rng.below(25) as usize; // 24..=48

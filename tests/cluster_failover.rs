@@ -45,7 +45,10 @@ fn tier_config() -> MoistConfig {
 fn mid_run_shard_kill_is_absorbed_without_losing_updates_or_queries() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     let victim = *cluster.shard_ids().last().unwrap();
 
     let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
@@ -193,7 +196,10 @@ fn mid_run_shard_kill_is_absorbed_without_losing_updates_or_queries() {
 fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     let hot = Point::new(437.0, 437.0);
 
     let killed = AtomicBool::new(false);
@@ -311,6 +317,183 @@ fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
     assert!(!nn.is_empty());
 }
 
+/// The elasticity controller under failure: the fig16-style 80/5 skew
+/// stream drives a *controller-managed* fleet (every worker ticks
+/// [`MoistCluster::controller_tick`] like a client loop would), worker 1
+/// keeps rebalance storms in flight, and worker 0 kills the hot-spot
+/// owner mid-run. On top of the plain kill contract (zero lost
+/// acknowledged updates, exact routing-key partition, queries answering
+/// on every tick), the controller must stay *disciplined*: the fleet
+/// never leaves `[min_shards, max_shards]`, the surge provokes real
+/// scale-ups, and scaling decisions from different evaluation windows
+/// never land closer than the cool-down — no add→remove→add flapping
+/// while the kill and the rebalance churn are perturbing its signals.
+#[test]
+fn controller_managed_fleet_absorbs_a_mid_rebalance_kill_without_flapping() {
+    use moist::core::{ControllerAction, ControllerConfig};
+
+    let store = Bigtable::new();
+    let cfg = tier_config();
+    let ccfg = ControllerConfig {
+        min_shards: 2,
+        max_shards: 8,
+        window_secs: 5.0,
+        cooldown_secs: 20.0,
+        rebalance_every_secs: 10.0,
+        // Virtual busy-µs per virtual second: far below what the skewed
+        // stream generates, so the controller provably wants capacity.
+        target_shard_busy_us: 50.0,
+        ..ControllerConfig::default()
+    };
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .controller(ccfg)
+        .build()
+        .unwrap();
+    let hot = Point::new(437.0, 437.0);
+
+    let killed = AtomicBool::new(false);
+
+    let sent: Vec<u64> = ClientPool::run(WORKERS, |i| {
+        let oid_base = i as u64 * 1_000_000;
+        let mut count = 0u64;
+        let mut t = 0.0;
+        let mut step = 0u64;
+        while t < END_SECS {
+            t = (t + 5.0).min(END_SECS);
+            // 80/5 skew: most of this worker's updates hammer the hot
+            // spot, the rest scatter over the map.
+            for j in 0..40u64 {
+                step += 1;
+                let oid = oid_base + step % 500;
+                let (x, y) = if j % 5 != 0 {
+                    (hot.x + (j % 7) as f64, hot.y + (j % 5) as f64)
+                } else {
+                    (
+                        20.0 + ((step * 131) % 960) as f64,
+                        20.0 + ((step * 197) % 960) as f64,
+                    )
+                };
+                cluster
+                    .update(&UpdateMessage {
+                        oid: ObjectId(oid),
+                        loc: Point::new(x, y),
+                        vel: moist::spatial::Velocity::ZERO,
+                        ts: Timestamp::from_secs_f64(t - 5.0 + 5.0 * j as f64 / 40.0),
+                    })
+                    .expect("updates must keep landing through the managed churn");
+                count += 1;
+            }
+
+            // Every worker ticks the controller — concurrent tickers
+            // must not serialize or double-evaluate a window.
+            cluster
+                .controller_tick(Timestamp::from_secs_f64(t))
+                .expect("controller ticks must succeed through the kill");
+
+            // Worker 1 keeps manual rebalance storms in flight on top of
+            // the controller's own cadence.
+            if i == 1 {
+                cluster.rebalance(Timestamp::from_secs_f64(t)).unwrap();
+            }
+
+            // Worker 0 kills whichever shard currently owns the hot spot,
+            // mid-run, while the controller is scaling and rebalancing.
+            if i == 0
+                && t >= KILL_AT_SECS
+                && killed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                let victim_pos = cluster.shard_for_point(&hot);
+                let victim = cluster.shard_ids()[victim_pos];
+                match cluster.remove_shard(victim) {
+                    // The controller may have reshaped the fleet under
+                    // us; a vanished victim is the benign race.
+                    Ok(()) | Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("killing the hot shard failed: {e}"),
+                }
+            }
+
+            // Clustering ticks over the *live* (controller-sized) fleet.
+            let live = cluster.num_shards();
+            let mut shard = i;
+            while shard < live {
+                match cluster.run_due_clustering_shard(shard, Timestamp::from_secs_f64(t)) {
+                    Ok(_) | Err(MoistError::NoSuchShard(_)) => {}
+                    Err(e) => panic!("clustering tick failed: {e}"),
+                }
+                shard += WORKERS;
+            }
+
+            // Availability probes on every tick, centred on the hot spot.
+            let at = Timestamp::from_secs_f64(t);
+            cluster
+                .nn(hot, 3, at)
+                .expect("NN must answer through the managed churn");
+            cluster
+                .region(&Rect::new(350.0, 350.0, 550.0, 550.0), at, 0.0)
+                .expect("region must answer through the managed churn");
+        }
+        count
+    });
+    let sent: u64 = sent.iter().sum();
+
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "the hot shard must be killed"
+    );
+
+    // The fleet stayed bounded and the surge provoked real scale-ups.
+    let live = cluster.num_shards();
+    assert!(
+        (ccfg.min_shards..=ccfg.max_shards).contains(&live),
+        "fleet left its bounds: {live}"
+    );
+    let events = cluster.controller_events();
+    let adds = events
+        .iter()
+        .filter(|e| matches!(e.action, ControllerAction::AddShard { .. }))
+        .count();
+    assert!(adds >= 1, "the surge must provoke scale-ups: {events:?}");
+
+    // Hysteresis discipline: scaling decisions from different evaluation
+    // windows are at least a cool-down apart (a multi-shard step lands as
+    // one same-stamp batch). This is the no-flapping guarantee — an
+    // add→remove→add inside one cool-down is impossible.
+    let scale_times: Vec<f64> = events
+        .iter()
+        .filter(|e| e.action.is_scaling())
+        .map(|e| e.at_secs)
+        .collect();
+    for pair in scale_times.windows(2) {
+        let gap = pair[1] - pair[0];
+        assert!(
+            gap == 0.0 || gap >= ccfg.cooldown_secs - 1e-9,
+            "scale events {gap}s apart violate the {}s cool-down: {events:?}",
+            ccfg.cooldown_secs
+        );
+    }
+
+    // Zero lost acknowledged updates, dead shard's share included.
+    let agg = cluster.stats();
+    assert_eq!(agg.updates, sent, "no update lost or double-counted");
+    assert!(agg.balanced(), "outcomes must sum to updates: {agg:?}");
+
+    // Every routing key — split children included — owned exactly once.
+    common::assert_routing_key_partition(&cluster);
+
+    // The whole map still answers after the churn settles.
+    let (nn, _) = cluster
+        .nn(
+            Point::new(500.0, 500.0),
+            50,
+            Timestamp::from_secs_f64(END_SECS),
+        )
+        .unwrap();
+    assert!(!nn.is_empty());
+}
+
 /// Replicated ownership under failure: at `replicas == 2` every routing
 /// key has a rank-1 follower already mirroring it through the shared
 /// store, so a shard kill is a *promotion*, not a recovery. The contract
@@ -321,9 +504,11 @@ fn hot_shard_killed_mid_rebalance_loses_nothing_and_keeps_the_partition() {
 fn replicated_tier_promotes_followers_through_a_shard_kill_without_downtime() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS)
-        .unwrap()
-        .with_replicas(2);
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .replicas(2)
+        .build()
+        .unwrap();
     let victim = *cluster.shard_ids().last().unwrap();
 
     let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
@@ -486,13 +671,15 @@ fn replicated_tier_promotes_followers_through_a_shard_kill_without_downtime() {
 fn shard_kill_with_nonempty_queues_drains_without_losing_acked_updates() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS)
-        .unwrap()
-        .with_ingest(IngestConfig {
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .ingest(IngestConfig {
             batch_size: 32,
             flush_deadline_secs: 5.0,
             ..IngestConfig::default()
-        });
+        })
+        .build()
+        .unwrap();
     let victim = *cluster.shard_ids().last().unwrap();
 
     let sims: Vec<Mutex<RoadNetSim>> = (0..WORKERS)
@@ -652,7 +839,10 @@ fn shard_kill_with_nonempty_queues_drains_without_losing_acked_updates() {
 fn killing_and_rejoining_shards_repeatedly_keeps_the_partition_tight() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     let cells = cells_at_level(cfg.clustering_level);
     // Churn: kill one, add two, kill one… ownership must stay an exact
     // partition with deadlines intact at every step.

@@ -64,7 +64,10 @@ fn sorted_ids(hits: &[moist::core::Neighbor]) -> Vec<u64> {
 fn region_fanout_matches_the_oracle_while_shards_join_and_leave() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     for &(i, x, y) in &scattered(400) {
         cluster
             .update(&UpdateMessage {

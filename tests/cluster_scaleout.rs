@@ -80,7 +80,10 @@ fn drive_concurrently(cluster: &MoistCluster, until: f64) -> u64 {
 #[test]
 fn concurrent_updates_keep_counters_consistent_across_shards() {
     let store = Bigtable::new();
-    let cluster = MoistCluster::new(&store, tier_config(), SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, tier_config())
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     let sent = drive_concurrently(&cluster, 90.0);
 
     // Every sent update landed on exactly one shard with exactly one
@@ -130,7 +133,10 @@ fn concurrent_updates_keep_counters_consistent_across_shards() {
 fn each_clustering_cell_is_clustered_by_exactly_one_shard() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     let cells = cells_at_level(cfg.clustering_level);
 
     // Static partition: every cell owned by exactly one shard's scheduler,
@@ -174,7 +180,10 @@ fn cell_ownership(cluster: &MoistCluster) -> Vec<(usize, u64, u64)> {
 fn join_reseeds_migrated_cells_at_their_old_deadline_phase() {
     let store = Bigtable::new();
     let cfg = tier_config();
-    let cluster = MoistCluster::new(&store, cfg, SHARDS).unwrap();
+    let cluster = MoistCluster::builder(&store, cfg)
+        .shards(SHARDS)
+        .build()
+        .unwrap();
     // Drive real concurrent traffic first so every cell's deadline has
     // re-armed to a mid-run phase (not the pristine first stagger).
     drive_concurrently(&cluster, 90.0);

@@ -127,6 +127,77 @@ fn acknowledged_cluster_updates_survive_a_crash() {
 }
 
 #[test]
+fn builder_recover_preserves_replica_ingest_and_controller_config() {
+    use moist::core::{BackpressurePolicy, ControllerConfig, IngestConfig};
+
+    let dir = test_dir("knobs");
+    let icfg = IngestConfig {
+        batch_size: 16,
+        queue_cap: 256,
+        flush_deadline_secs: 0.5,
+        policy: BackpressurePolicy::Shed,
+    };
+    let ccfg = ControllerConfig {
+        min_shards: 2,
+        max_shards: 6,
+        ..ControllerConfig::default()
+    };
+    let store = Bigtable::with_config(durable_config(&dir));
+    let cluster = MoistCluster::builder(&store, tier_config())
+        .shards(SHARDS)
+        .replicas(2)
+        .ingest(icfg)
+        .controller(ccfg)
+        .build()
+        .unwrap();
+    for i in 0..40u64 {
+        cluster
+            .update(&msg(
+                i,
+                20.0 + (i * 131 % 960) as f64,
+                20.0 + (i * 61 % 960) as f64,
+                1.0,
+            ))
+            .unwrap();
+    }
+    let want_ingest = cluster.ingest_config();
+    drop(cluster);
+    drop(store); // crash
+
+    // The builder's recovery path carries every knob to the rebuilt
+    // fleet — this is the fix for the old `MoistCluster::recover`, which
+    // silently came back with default replica/ingest settings.
+    let (_store, recovered, report) = MoistCluster::builder(&Bigtable::new(), tier_config())
+        .shards(SHARDS)
+        .replicas(2)
+        .ingest(icfg)
+        .controller(ccfg)
+        .recover(durable_config(&dir))
+        .unwrap();
+    assert!(report.replayed_records > 0);
+    assert_eq!(recovered.num_shards(), SHARDS);
+    assert_eq!(recovered.replicas(), 2, "replication factor must survive");
+    assert_eq!(
+        recovered.ingest_config(),
+        want_ingest,
+        "ingest knobs must survive"
+    );
+    assert_eq!(
+        recovered.controller_config(),
+        Some(ccfg.normalized()),
+        "controller must come back armed"
+    );
+    // And the data is still there, replica-routed.
+    for i in 0..40u64 {
+        assert!(recovered
+            .position(ObjectId(i), Timestamp::from_secs(2))
+            .unwrap()
+            .is_some());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn checkpoint_drains_ingest_before_snapshotting() {
     let dir = test_dir("ckpt");
     let store = Bigtable::with_config(durable_config(&dir));
