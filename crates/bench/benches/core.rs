@@ -88,7 +88,7 @@ fn bench_update_paths(c: &mut Criterion) {
 fn bench_nn(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn");
     group.sample_size(30);
-    let mut server = loaded_server(100_000, 0.0);
+    let server = loaded_server(100_000, 0.0);
     group.bench_function("k10_flag_100k_objects", |b| {
         let mut x = 0.0f64;
         b.iter(|| {

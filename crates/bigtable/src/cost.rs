@@ -20,6 +20,7 @@
 //! NN QPS — *emerges* from op counts, not from further tuning.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Virtual-microsecond costs of store operations.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -169,6 +170,13 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// A clock pre-advanced to `us` — used to seed a per-call meter from
+    /// a [`MeterHub`] snapshot so absolute mid-call reads reproduce the
+    /// single-shared-clock timeline bit-for-bit.
+    pub fn starting_at(us: f64) -> Self {
+        SimClock { us }
+    }
+
     /// Current virtual time in microseconds.
     #[inline]
     pub fn now_us(&self) -> f64 {
@@ -192,6 +200,143 @@ impl SimClock {
     /// Resets to zero and returns the elapsed microseconds.
     pub fn reset(&mut self) -> f64 {
         std::mem::take(&mut self.us)
+    }
+}
+
+/// A private, per-call accumulator of virtual time and op counts.
+///
+/// Each query/update call owns one meter (inside its [`Session`]); the
+/// charges are folded into the shared per-server [`MeterHub`] as they
+/// happen, so concurrent calls never contend on a `&mut` clock and
+/// single-threaded totals replay the exact `f64` addition sequence of a
+/// single shared clock.
+///
+/// [`Session`]: crate::session::Session
+#[derive(Debug, Default, Clone)]
+pub struct CostMeter {
+    clock: SimClock,
+    ops: u64,
+}
+
+impl CostMeter {
+    /// A meter at zero.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// A meter seeded at `us` microseconds / `ops` operations — the
+    /// hub's totals at call start — so absolute reads mid-call match the
+    /// old single-clock values exactly.
+    pub fn starting_at(us: f64, ops: u64) -> Self {
+        CostMeter {
+            clock: SimClock::starting_at(us),
+            ops,
+        }
+    }
+
+    /// Advances by `us` microseconds (negative charges are ignored,
+    /// matching [`SimClock::charge_us`]).
+    #[inline]
+    pub fn charge_us(&mut self, us: f64) {
+        self.clock.charge_us(us);
+    }
+
+    /// Counts one store operation.
+    #[inline]
+    pub fn note_op(&mut self) {
+        self.ops += 1;
+    }
+
+    /// Virtual microseconds accumulated (including any seed).
+    #[inline]
+    pub fn elapsed_us(&self) -> f64 {
+        self.clock.now_us()
+    }
+
+    /// Operations counted (including any seed).
+    #[inline]
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Resets to zero, returning elapsed microseconds.
+    pub fn reset(&mut self) -> f64 {
+        self.ops = 0;
+        self.clock.reset()
+    }
+}
+
+/// A shared, lock-free accumulator of virtual time and op counts.
+///
+/// One hub per simulated server. Elapsed time is stored as the `f64`
+/// bit pattern inside an `AtomicU64` and advanced with a compare-and-swap
+/// loop, so read paths taking `&self` can charge cost without a `&mut`
+/// clock. The `us > 0.0` guard replicates [`SimClock::charge_us`]
+/// exactly: on a single thread the hub applies the same additions in the
+/// same order as one shared clock would, keeping virtual-time totals
+/// bit-identical. Under true concurrency the op counter stays exact and
+/// the elapsed total is order-dependent only in the final `f64` ulps.
+#[derive(Debug, Default)]
+pub struct MeterHub {
+    elapsed_bits: AtomicU64,
+    ops: AtomicU64,
+}
+
+impl MeterHub {
+    /// A hub at zero.
+    pub fn new() -> Self {
+        MeterHub::default()
+    }
+
+    /// Advances by `us` microseconds (negative charges are ignored).
+    pub fn charge_us(&self, us: f64) {
+        if us > 0.0 {
+            let mut cur = self.elapsed_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + us).to_bits();
+                match self.elapsed_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Counts one store operation.
+    #[inline]
+    pub fn note_op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a finished per-call meter's totals in at once (coarse
+    /// variant of the per-charge mirroring [`Session`] does; exercised
+    /// by the lossless-folding property tests).
+    ///
+    /// [`Session`]: crate::session::Session
+    pub fn fold(&self, meter: &CostMeter) {
+        self.charge_us(meter.elapsed_us());
+        self.ops.fetch_add(meter.op_count(), Ordering::Relaxed);
+    }
+
+    /// Virtual microseconds accumulated so far.
+    pub fn elapsed_us(&self) -> f64 {
+        f64::from_bits(self.elapsed_bits.load(Ordering::Relaxed))
+    }
+
+    /// Operations counted so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero, returning elapsed microseconds.
+    pub fn reset(&self) -> f64 {
+        self.ops.store(0, Ordering::Relaxed);
+        f64::from_bits(self.elapsed_bits.swap(0f64.to_bits(), Ordering::Relaxed))
     }
 }
 
@@ -246,6 +391,82 @@ mod tests {
     fn index_cost_grows_with_table_size() {
         let p = CostProfile::default();
         assert!(p.point_read_us(1 << 20, 0, false) > p.point_read_us(1 << 10, 0, false));
+    }
+
+    #[test]
+    fn hub_replays_the_same_addition_sequence_as_one_clock() {
+        // Single-threaded bit-identicality: charging the hub in the same
+        // order as a SimClock yields the exact same f64 bits.
+        let charges = [15.0, 0.8, 4.0, -3.0, 0.0, 900.0, 0.002, 2.5];
+        let mut clock = SimClock::new();
+        let hub = MeterHub::new();
+        for &c in &charges {
+            clock.charge_us(c);
+            hub.charge_us(c);
+        }
+        assert_eq!(clock.now_us().to_bits(), hub.elapsed_us().to_bits());
+        assert_eq!(hub.reset().to_bits(), clock.reset().to_bits());
+        assert_eq!(hub.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn seeded_meter_matches_absolute_timeline() {
+        // An ephemeral meter seeded at the hub's snapshot sees the same
+        // absolute values a single shared clock would have shown.
+        let mut shared = SimClock::new();
+        let hub = MeterHub::new();
+        shared.charge_us(123.25);
+        hub.charge_us(123.25);
+        let mut meter = CostMeter::starting_at(hub.elapsed_us(), hub.op_count());
+        for &c in &[4.0, 6.0, 0.5] {
+            shared.charge_us(c);
+            meter.charge_us(c);
+            hub.charge_us(c);
+            meter.note_op();
+            hub.note_op();
+        }
+        assert_eq!(meter.elapsed_us().to_bits(), shared.now_us().to_bits());
+        assert_eq!(meter.elapsed_us().to_bits(), hub.elapsed_us().to_bits());
+        assert_eq!(meter.op_count(), hub.op_count());
+        assert_eq!(hub.op_count(), 3);
+    }
+
+    #[test]
+    fn hub_fold_accumulates_meter_totals() {
+        let hub = MeterHub::new();
+        let mut a = CostMeter::new();
+        a.charge_us(10.0);
+        a.note_op();
+        let mut b = CostMeter::new();
+        b.charge_us(2.5);
+        b.note_op();
+        b.note_op();
+        hub.fold(&a);
+        hub.fold(&b);
+        assert_eq!(hub.elapsed_us(), 12.5);
+        assert_eq!(hub.op_count(), 3);
+    }
+
+    #[test]
+    fn hub_charges_survive_threads() {
+        use std::sync::Arc;
+        let hub = Arc::new(MeterHub::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        hub.charge_us(0.25); // dyadic: f64 addition is exact
+                        hub.note_op();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.elapsed_us(), 8.0 * 1000.0 * 0.25);
+        assert_eq!(hub.op_count(), 8000);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! session; virtual elapsed time divided into operation counts yields the
 //! modelled QPS the benchmarks report.
 
-use crate::cost::{CostProfile, SimClock};
+use crate::cost::{CostMeter, CostProfile, MeterHub};
 use crate::error::Result;
 use crate::store::Bigtable;
 use crate::table::{Mutation, OwnedRow, ReadOptions, RowMutation, ScanRange, Table};
@@ -13,11 +13,21 @@ use crate::types::{Cell, Locality, RowKey};
 use std::sync::Arc;
 
 /// A cost-charged view of a store.
+///
+/// A plain session charges a private [`CostMeter`]. A hub-attached
+/// session (see [`Bigtable::session_with_hub`]) additionally mirrors
+/// every charge into a shared [`MeterHub`] *and* seeds its private meter
+/// from the hub's current totals, so:
+///
+/// * absolute `elapsed_us()` reads mid-call match what one shared clock
+///   would have shown (single-threaded runs stay bit-identical), and
+/// * concurrent calls each own a meter — no `&mut` clock contention —
+///   while the hub accumulates the server-wide totals.
 pub struct Session {
     store: Arc<Bigtable>,
     profile: CostProfile,
-    clock: SimClock,
-    ops: u64,
+    meter: CostMeter,
+    hub: Option<Arc<MeterHub>>,
 }
 
 impl Session {
@@ -25,8 +35,17 @@ impl Session {
         Session {
             store,
             profile,
-            clock: SimClock::new(),
-            ops: 0,
+            meter: CostMeter::new(),
+            hub: None,
+        }
+    }
+
+    pub(crate) fn with_hub(store: Arc<Bigtable>, profile: CostProfile, hub: Arc<MeterHub>) -> Self {
+        Session {
+            store,
+            profile,
+            meter: CostMeter::starting_at(hub.elapsed_us(), hub.op_count()),
+            hub: Some(hub),
         }
     }
 
@@ -40,30 +59,62 @@ impl Session {
         &self.profile
     }
 
-    /// Virtual microseconds consumed so far.
+    /// The shared hub this session mirrors charges into, if any.
+    pub fn hub(&self) -> Option<&Arc<MeterHub>> {
+        self.hub.as_ref()
+    }
+
+    /// Virtual microseconds consumed so far (per-call meter view).
     pub fn elapsed_us(&self) -> f64 {
-        self.clock.now_us()
+        self.meter.elapsed_us()
     }
 
     /// Virtual seconds consumed so far.
     pub fn elapsed_secs(&self) -> f64 {
-        self.clock.now_secs()
+        self.meter.elapsed_us() / 1e6
     }
 
     /// Operations issued so far.
     pub fn op_count(&self) -> u64 {
-        self.ops
+        self.meter.op_count()
     }
 
     /// Resets the clock and op counter, returning elapsed microseconds.
+    ///
+    /// On a hub-attached session this resets the shared hub too and
+    /// returns the hub's (authoritative, server-wide) elapsed total.
     pub fn reset(&mut self) -> f64 {
-        self.ops = 0;
-        self.clock.reset()
+        if let Some(hub) = &self.hub {
+            let elapsed = hub.reset();
+            self.meter.reset();
+            elapsed
+        } else {
+            self.meter.reset()
+        }
+    }
+
+    /// Charges `us` to the private meter and mirrors it into the hub.
+    /// All cost accounting funnels through here so the hub sees the
+    /// exact per-op addition sequence (not a coarse end-of-call fold).
+    #[inline]
+    fn charge(&mut self, us: f64) {
+        self.meter.charge_us(us);
+        if let Some(hub) = &self.hub {
+            hub.charge_us(us);
+        }
+    }
+
+    #[inline]
+    fn note_op(&mut self) {
+        self.meter.note_op();
+        if let Some(hub) = &self.hub {
+            hub.note_op();
+        }
     }
 
     /// Adds non-store work (e.g. server CPU) to the virtual timeline.
     pub fn charge_extra_us(&mut self, us: f64) {
-        self.clock.charge_us(us);
+        self.charge(us);
     }
 
     /// Durability surcharge for one write RPC on `table` that logged
@@ -71,8 +122,8 @@ impl Session {
     /// non-durable tables, so `Durability::None` stays bit-identical.
     fn charge_wal(&mut self, table: &Table, bytes: u64) {
         if let Some(every) = table.wal_fsync_every() {
-            self.clock
-                .charge_us(self.profile.wal_write_us(bytes + 32, every));
+            let us = self.profile.wal_write_us(bytes + 32, every);
+            self.charge(us);
         }
     }
 
@@ -108,11 +159,11 @@ impl Session {
             .family(family)
             .map(|(_, f)| f.locality == Locality::Disk)
             .unwrap_or(false);
-        self.clock.charge_us(
-            self.profile
-                .point_read_us(table.approx_row_count(), bytes, disk),
-        );
-        self.ops += 1;
+        let us = self
+            .profile
+            .point_read_us(table.approx_row_count(), bytes, disk);
+        self.charge(us);
+        self.note_op();
         Ok(cell)
     }
 
@@ -126,11 +177,11 @@ impl Session {
         let row = table.get_row(key, opts)?;
         let bytes = row.as_ref().map_or(0, |r| r.payload_bytes() as u64);
         let disk = Self::family_touches_disk(table, opts);
-        self.clock.charge_us(
-            self.profile
-                .point_read_us(table.approx_row_count(), bytes, disk),
-        );
-        self.ops += 1;
+        let us = self
+            .profile
+            .point_read_us(table.approx_row_count(), bytes, disk);
+        self.charge(us);
+        self.note_op();
         Ok(row)
     }
 
@@ -149,13 +200,11 @@ impl Session {
             .map(|r| r.payload_bytes() as u64)
             .sum();
         let disk = Self::family_touches_disk(table, opts);
-        self.clock.charge_us(self.profile.scan_us(
-            table.approx_row_count(),
-            keys.len() as u64,
-            bytes,
-            disk,
-        ));
-        self.ops += 1;
+        let us = self
+            .profile
+            .scan_us(table.approx_row_count(), keys.len() as u64, bytes, disk);
+        self.charge(us);
+        self.note_op();
         Ok(rows)
     }
 
@@ -174,13 +223,12 @@ impl Session {
                 _ => 16,
             })
             .sum();
-        self.clock.charge_us(self.profile.write_us(
-            table.approx_row_count(),
-            mutations.len() as u64,
-            bytes,
-        ));
+        let us = self
+            .profile
+            .write_us(table.approx_row_count(), mutations.len() as u64, bytes);
+        self.charge(us);
         self.charge_wal(table, bytes);
-        self.ops += 1;
+        self.note_op();
         Ok(())
     }
 
@@ -196,10 +244,10 @@ impl Session {
                 _ => 16,
             })
             .sum();
-        self.clock
-            .charge_us(self.profile.batch_write_us(batch.len() as u64, muts, bytes));
+        let us = self.profile.batch_write_us(batch.len() as u64, muts, bytes);
+        self.charge(us);
         self.charge_wal(table, bytes);
-        self.ops += 1;
+        self.note_op();
         Ok(n)
     }
 
@@ -229,8 +277,8 @@ impl Session {
             us += self.profile.write_us(rows, mutations.len() as u64, bytes);
             self.charge_wal(table, bytes);
         }
-        self.clock.charge_us(us);
-        self.ops += 1;
+        self.charge(us);
+        self.note_op();
         Ok(applied)
     }
 
@@ -245,13 +293,11 @@ impl Session {
         let rows = table.scan(range, opts, limit)?;
         let bytes: u64 = rows.iter().map(|r| r.payload_bytes() as u64).sum();
         let disk = Self::family_touches_disk(table, opts);
-        self.clock.charge_us(self.profile.scan_us(
-            table.approx_row_count(),
-            rows.len() as u64,
-            bytes,
-            disk,
-        ));
-        self.ops += 1;
+        let us = self
+            .profile
+            .scan_us(table.approx_row_count(), rows.len() as u64, bytes, disk);
+        self.charge(us);
+        self.note_op();
         Ok(rows)
     }
 }

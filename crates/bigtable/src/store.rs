@@ -297,6 +297,20 @@ impl Bigtable {
     pub fn session_with(self: &Arc<Self>, profile: CostProfile) -> Session {
         Session::new(Arc::clone(self), profile)
     }
+
+    /// Opens a session attached to a shared [`MeterHub`]: every charge
+    /// is mirrored into the hub, and the session's private meter starts
+    /// at the hub's current totals so absolute mid-call reads replay the
+    /// single-shared-clock timeline exactly. This is what lets a server
+    /// run query paths from `&self` — each call opens an ephemeral
+    /// hubbed session instead of mutating one shared clock.
+    pub fn session_with_hub(
+        self: &Arc<Self>,
+        profile: CostProfile,
+        hub: Arc<crate::cost::MeterHub>,
+    ) -> Session {
+        Session::with_hub(Arc::clone(self), profile, hub)
+    }
 }
 
 #[cfg(test)]

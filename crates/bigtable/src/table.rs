@@ -280,7 +280,7 @@ impl Table {
     /// capacity statistics, not hot paths).
     pub fn cell_count(&self) -> usize {
         let mut total = 0;
-        for (_, tablet) in self.tablets.route_range(&RowKey::MIN, None) {
+        for tablet in self.tablets.route_range(&RowKey::MIN, None) {
             let rows = tablet.rows.read();
             total += rows.values().map(|r| r.cell_count()).sum::<usize>();
         }
@@ -523,7 +523,7 @@ impl Table {
         let mut out = Vec::new();
         let tablets = self.tablets.route_range(&range.start, range.end.as_ref());
         let mut bytes = 0u64;
-        'outer: for (_, tablet) in tablets {
+        'outer: for tablet in tablets {
             let rows = tablet.rows.read();
             let iter: Box<dyn Iterator<Item = (&RowKey, &RowStorage)>> = match &range.end {
                 Some(end) => Box::new(rows.range(range.start.clone()..end.clone())),
@@ -580,7 +580,7 @@ impl Table {
         cutoff: Timestamp,
     ) -> usize {
         let mut moved = 0usize;
-        for (_, tablet) in self.tablets.route_range(&RowKey::MIN, None) {
+        for tablet in self.tablets.route_range(&RowKey::MIN, None) {
             let mut rows = tablet.rows.write();
             for row in rows.values_mut() {
                 // Collect first to avoid borrowing families twice.
@@ -626,7 +626,7 @@ impl Table {
         let count_pos = buf.len();
         wal::put_u64(&mut buf, 0); // patched below
         let mut n = 0u64;
-        for (_, tablet) in self.tablets.route_range(&RowKey::MIN, None) {
+        for tablet in self.tablets.route_range(&RowKey::MIN, None) {
             let rows = tablet.rows.read();
             for (key, row) in rows.iter() {
                 n += 1;

@@ -368,11 +368,14 @@ impl ClusterStats {
     }
 }
 
-/// One live shard: its stable id plus the mutexed server.
+/// One live shard: its stable id plus the server behind a reader-writer
+/// lock — queries (`nn*`, `region*`, partials, `position`, stats) take
+/// the read guard and overlap freely on one shard; updates, clustering
+/// sweeps and scheduler handoff serialize on the write guard.
 struct ShardEntry {
     /// Stable shard id — never reused, survives other shards' churn.
     id: u64,
-    server: Mutex<MoistServer>,
+    server: RwLock<MoistServer>,
     /// Reads this shard served as a *follower* (it was in the routing
     /// key's replica set but not its primary).
     replica_reads: AtomicU64,
@@ -382,7 +385,7 @@ impl ShardEntry {
     fn new(id: u64, server: MoistServer) -> Self {
         ShardEntry {
             id,
-            server: Mutex::new(server),
+            server: RwLock::new(server),
             replica_reads: AtomicU64::new(0),
         }
     }
@@ -511,7 +514,7 @@ impl RetiredShards {
     fn compact(&mut self) {
         self.entries.retain(|entry| {
             if Arc::strong_count(entry) == 1 {
-                self.folded.merge_from(&entry.server.lock().stats());
+                self.folded.merge_from(&entry.server.read().stats());
                 false
             } else {
                 true
@@ -524,7 +527,7 @@ impl RetiredShards {
         self.compact();
         let mut total = self.folded;
         for entry in &self.entries {
-            total.merge_from(&entry.server.lock().stats());
+            total.merge_from(&entry.server.read().stats());
         }
         total
     }
@@ -908,7 +911,7 @@ impl MoistCluster {
     pub fn with_archiver(mut self, archiver: Arc<PppArchiver>) -> Self {
         let snap = self.membership.read().clone();
         for entry in &snap.shards {
-            entry.server.lock().set_archiver(Arc::clone(&archiver));
+            entry.server.write().set_archiver(Arc::clone(&archiver));
         }
         self.archiver = Some(archiver);
         self
@@ -936,7 +939,7 @@ impl MoistCluster {
         let mut best = 0usize;
         let mut best_load = f64::INFINITY;
         for (rank, entry) in set.iter().enumerate() {
-            let load = entry.server.lock().elapsed_us();
+            let load = entry.server.read().elapsed_us();
             if load < best_load {
                 best_load = load;
                 best = rank;
@@ -1062,11 +1065,11 @@ impl MoistCluster {
             }
             let due = old_owner
                 .server
-                .lock()
+                .write()
                 .scheduler_mut()
                 .release(key)
                 .expect("old owner held the migrating key");
-            new_owner.server.lock().scheduler_mut().adopt(key, due);
+            new_owner.server.write().scheduler_mut().adopt(key, due);
             true
         };
         for cell in 0..cells_at_level(self.cfg.clustering_level) {
@@ -1084,14 +1087,14 @@ impl MoistCluster {
                     let due = old
                         .owner_of(cell)
                         .server
-                        .lock()
+                        .write()
                         .scheduler_mut()
                         .release(cell)
                         .expect("old owner held the splitting cell");
                     let old_id = old.owner_of(cell).id;
                     for child in SplitTable::child_keys(cell) {
                         let new_owner = new.owner_of(child);
-                        new_owner.server.lock().scheduler_mut().adopt(child, due);
+                        new_owner.server.write().scheduler_mut().adopt(child, due);
                         if new_owner.id != old_id {
                             migrated += 1;
                         }
@@ -1106,7 +1109,7 @@ impl MoistCluster {
                         if let Some(d) = old
                             .owner_of(child)
                             .server
-                            .lock()
+                            .write()
                             .scheduler_mut()
                             .release(child)
                         {
@@ -1120,7 +1123,7 @@ impl MoistCluster {
                     };
                     new.owner_of(cell)
                         .server
-                        .lock()
+                        .write()
                         .scheduler_mut()
                         .adopt(cell, due);
                     migrated += 1;
@@ -1246,7 +1249,7 @@ impl MoistCluster {
         {
             let mut baseline = self.rebalance_baseline.lock();
             for entry in &old.shards {
-                let mut server = entry.server.lock();
+                let server = entry.server.read();
                 let elapsed = server.elapsed_us();
                 for (cell, rates) in server.load_rates(now) {
                     *cell_rates.entry(cell).or_insert(0.0) += rates.total();
@@ -1562,7 +1565,7 @@ impl MoistCluster {
             .iter()
             .zip(&snap.weights)
             .map(|(entry, &weight)| {
-                let mut server = entry.server.lock();
+                let server = entry.server.read();
                 let (update_rate, query_rate) = server.load_totals(now);
                 let (scatter_slices, scatter_slice_us) = server.scatter_slice_stats();
                 ShardLoadStats {
@@ -1649,8 +1652,19 @@ impl MoistCluster {
     /// degrade gracefully.
     pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut MoistServer) -> R) -> Result<R> {
         let entry = self.entry_at(shard)?;
-        let mut server = entry.server.lock();
+        let mut server = entry.server.write();
         Ok(f(&mut server))
+    }
+
+    /// Shared-access variant of [`with_shard`](MoistCluster::with_shard):
+    /// runs `f` under the shard's *read* guard, so any number of callers
+    /// (and the tier's own query paths) can overlap on the same shard.
+    /// All of [`MoistServer`]'s query methods take `&self` and work here;
+    /// use `with_shard` when `f` needs the exclusive writer view.
+    pub fn with_shard_read<R>(&self, shard: usize, f: impl FnOnce(&MoistServer) -> R) -> Result<R> {
+        let entry = self.entry_at(shard)?;
+        let server = entry.server.read();
+        Ok(f(&server))
     }
 
     /// Applies one update on the shard owning the update's clustering cell.
@@ -1681,7 +1695,7 @@ impl MoistCluster {
             let snap = self.snapshot();
             let entry = Arc::clone(snap.owner_of(snap.route_leaf(leaf, &self.cfg)));
             drop(snap);
-            let mut server = entry.server.lock();
+            let mut server = entry.server.write();
             if self.version.load(Ordering::Acquire) == v1 {
                 return server.update(msg);
             }
@@ -1736,7 +1750,7 @@ impl MoistCluster {
             drop(snap);
             pending.clear();
             for (entry, idxs) in groups {
-                let mut server = entry.server.lock();
+                let mut server = entry.server.write();
                 if self.version.load(Ordering::Acquire) != v1 {
                     // An epoch bump raced this group: its owner may have
                     // changed. Hand the whole group back for re-routing.
@@ -1862,7 +1876,7 @@ impl MoistCluster {
         if follower {
             self.note_replica_read(&anchor);
         }
-        let level = { anchor.server.lock().flag_level(&center, at)? };
+        let level = { anchor.server.read().flag_level(&center, at)? };
         self.nn_scatter(center, k, at, level, &anchor)
     }
 
@@ -1884,21 +1898,24 @@ impl MoistCluster {
         // whose replica sets overlap can collapse onto one shard (fewer
         // partials, same exact merge).
         let mut by_reader: Vec<(Arc<ShardEntry>, Vec<CellId>, u64)> = Vec::new();
+        // Slot map keyed by shard id: O(ring) grouping (the linear probe
+        // this replaces was O(ring²)) while by_reader keeps first-seen
+        // order, which the scatter and merge below rely on.
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
         for &cell in &ring {
             let key = snap.route_leaf(self.leaf_representative(cell), &self.cfg);
             let (reader, follower) = self.read_replica(&snap, key);
             let follower = u64::from(follower);
-            match by_reader.iter_mut().find(|(e, _, _)| e.id == reader.id) {
-                Some((_, cells, followed)) => {
-                    cells.push(cell);
-                    *followed += follower;
-                }
-                None => by_reader.push((Arc::clone(reader), vec![cell], follower)),
-            }
+            let slot = *slot_of.entry(reader.id).or_insert_with(|| {
+                by_reader.push((Arc::clone(reader), Vec::new(), 0));
+                by_reader.len() - 1
+            });
+            by_reader[slot].1.push(cell);
+            by_reader[slot].2 += follower;
         }
         if k == 0 || by_reader.len() <= 1 {
             // The whole ring reads on one shard: plain Algorithm 2 there.
-            let mut server = anchor.server.lock();
+            let server = anchor.server.read();
             return server.nn_at_level(center, k, at, nn_level);
         }
 
@@ -1912,7 +1929,7 @@ impl MoistCluster {
                     self.note_replica_read(&entry);
                 }
                 move || -> Result<NnPartial> {
-                    let mut server = entry.server.lock();
+                    let server = entry.server.read();
                     server.nn_partial(&cells, center, at, &opts)
                 }
             })
@@ -1925,7 +1942,7 @@ impl MoistCluster {
         if let Some(nn) = merged {
             // One client query: the scattered partials are not counted
             // individually, so credit the anchor shard with the query.
-            anchor.server.lock().note_query_served();
+            anchor.server.read().note_query_served();
             return Ok((nn, stats));
         }
         // The replayed frontier escaped the ring (sparse cells, or a
@@ -1933,7 +1950,7 @@ impl MoistCluster {
         // frontier search on the anchor. The scattered scan stays on the
         // bill — the client saw both phases.
         let (nn, fallback) = {
-            let mut server = anchor.server.lock();
+            let server = anchor.server.read();
             server.nn_at_level(center, k, at, nn_level)?
         };
         stats.cells_scanned += fallback.cells_scanned;
@@ -1958,7 +1975,7 @@ impl MoistCluster {
         if follower {
             self.note_replica_read(&entry);
         }
-        let mut server = entry.server.lock();
+        let server = entry.server.read();
         server.nn_at_level(center, k, at, nn_level)
     }
 
@@ -2010,7 +2027,7 @@ impl MoistCluster {
                 let loads: HashMap<u64, f64> = snap
                     .shards
                     .iter()
-                    .map(|e| (e.id, e.server.lock().elapsed_us()))
+                    .map(|e| (e.id, e.server.read().elapsed_us()))
                     .collect();
                 slice_ranges_by_replicas(
                     &pending,
@@ -2140,7 +2157,7 @@ impl MoistCluster {
                         if mine.is_empty() {
                             return Ok((entry.id, RegionPartial::default(), migrated));
                         }
-                        let mut server = entry.server.lock();
+                        let server = entry.server.read();
                         let part = server.region_partial(&mine, &rect, at)?;
                         Ok((entry.id, part, migrated))
                     }
@@ -2186,7 +2203,7 @@ impl MoistCluster {
         if follower {
             self.note_replica_read(&entry);
         }
-        let mut server = entry.server.lock();
+        let server = entry.server.read();
         server.region(rect, at, margin)
     }
 
@@ -2200,7 +2217,7 @@ impl MoistCluster {
         if follower {
             self.note_replica_read(&entry);
         }
-        let mut server = entry.server.lock();
+        let server = entry.server.read();
         server.position(oid, at)
     }
 
@@ -2211,7 +2228,7 @@ impl MoistCluster {
     /// [`MoistError::NoSuchShard`], not a panic.
     pub fn run_due_clustering_shard(&self, shard: usize, now: Timestamp) -> Result<ClusterReport> {
         let entry = self.entry_at(shard)?;
-        let mut server = entry.server.lock();
+        let mut server = entry.server.write();
         server.run_due_clustering(now)
     }
 
@@ -2220,7 +2237,7 @@ impl MoistCluster {
         let snap = self.snapshot();
         let mut total = ClusterReport::default();
         for entry in &snap.shards {
-            total.merge_from(&entry.server.lock().run_due_clustering(now)?);
+            total.merge_from(&entry.server.write().run_due_clustering(now)?);
         }
         Ok(total)
     }
@@ -2229,7 +2246,7 @@ impl MoistCluster {
     /// runs once (through the first live shard), not once per shard.
     pub fn age_data(&self, now: Timestamp) -> Result<usize> {
         let entry = self.entry_at(0)?;
-        let mut server = entry.server.lock();
+        let mut server = entry.server.write();
         server.age_data(now)
     }
 
@@ -2240,7 +2257,7 @@ impl MoistCluster {
         let snap = self.snapshot();
         let mut total = self.retired.lock().stats();
         for entry in &snap.shards {
-            total.merge_from(&entry.server.lock().stats());
+            total.merge_from(&entry.server.read().stats());
         }
         total
     }
@@ -2251,7 +2268,7 @@ impl MoistCluster {
         let snap = self.snapshot();
         snap.shards
             .iter()
-            .map(|e| e.server.lock().stats())
+            .map(|e| e.server.read().stats())
             .collect()
     }
 
@@ -2261,7 +2278,7 @@ impl MoistCluster {
         let snap = self.snapshot();
         snap.shards
             .iter()
-            .map(|e| e.server.lock().elapsed_us())
+            .map(|e| e.server.read().elapsed_us())
             .collect()
     }
 
@@ -2283,7 +2300,7 @@ impl MoistCluster {
     pub fn reset_clocks(&self) {
         let snap = self.snapshot();
         for entry in &snap.shards {
-            entry.server.lock().session_mut().reset();
+            entry.server.write().session_mut().reset();
         }
         self.rebalance_baseline.lock().clear();
     }
@@ -2622,7 +2639,7 @@ mod tests {
             .run_due_clustering(Timestamp::from_secs(25))
             .unwrap();
         let queries_before = cluster.stats().nn_queries;
-        let mut oracle = MoistServer::new(&store, cfg).unwrap();
+        let oracle = MoistServer::new(&store, cfg).unwrap();
         // Probe points include cell-boundary huggers (the scatter case)
         // and interior points (the single-shard case).
         let probes = [
@@ -2737,7 +2754,7 @@ mod tests {
         let _ = before_skew; // skew improvement is pinned by fig16_skew
                              // The tier still answers exactly: every object is found where a
                              // fresh single-server oracle finds it.
-        let mut oracle = MoistServer::new(&store, cfg).unwrap();
+        let oracle = MoistServer::new(&store, cfg).unwrap();
         for probe in [hot, Point::new(100.0, 500.0), Point::new(900.0, 80.0)] {
             let (got, _) = cluster.nn(probe, 5, Timestamp::from_secs(40)).unwrap();
             let level = oracle.flag_level(&probe, Timestamp::from_secs(40)).unwrap();

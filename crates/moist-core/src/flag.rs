@@ -16,6 +16,7 @@ use crate::tables::MoistTables;
 use moist_bigtable::{Session, Timestamp};
 use moist_spatial::Point;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cache + tuner statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,7 +36,27 @@ struct CacheEntry {
     created: Timestamp,
 }
 
+/// Outcome of a shared-guard cache probe (the fast path of Algorithm 4).
+///
+/// Splitting the lookup from the insert lets a server hold only a *read*
+/// guard on the tuner for cache hits — the common case — and upgrade to
+/// the write guard only when a query actually re-tunes the level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagLookup {
+    /// Fresh cached level; `cache_hits` has been counted.
+    Hit(u8),
+    /// A covering entry exists but has expired — pass its key to
+    /// [`FlagTuner::complete_miss`] so it gets evicted with the insert.
+    Stale(u64),
+    /// No covering entry.
+    Miss,
+}
+
 /// The FLAG tuner with its location-sensitive level cache.
+///
+/// Statistics counters are atomics so the hit path and Algorithm 3's
+/// probe loop work through `&self`; only [`FlagTuner::complete_miss`]
+/// (cache mutation) needs `&mut`.
 #[derive(Debug)]
 pub struct FlagTuner {
     sigma: usize,
@@ -43,7 +64,9 @@ pub struct FlagTuner {
     /// Entries keyed by range start (leaf index).
     cache: BTreeMap<u64, CacheEntry>,
     max_entries: usize,
-    stats: FlagStats,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    probes: AtomicU64,
 }
 
 impl FlagTuner {
@@ -54,13 +77,19 @@ impl FlagTuner {
             ttl_secs: cfg.flag_cache_ttl_secs.max(0.0),
             cache: BTreeMap::new(),
             max_entries: 4096,
-            stats: FlagStats::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
         }
     }
 
     /// Tuner statistics.
     pub fn stats(&self) -> FlagStats {
-        self.stats
+        FlagStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
     }
 
     /// Cached entries currently held.
@@ -73,44 +102,41 @@ impl FlagTuner {
         self.cache.clear();
     }
 
-    /// Algorithm 4: cached best level for `loc`, recomputing on miss or
-    /// staleness. `total_objects` is the global object count `n` feeding
-    /// Algorithm 3's initial guess.
-    pub fn best_level(
-        &mut self,
-        s: &mut Session,
-        tables: &MoistTables,
-        cfg: &MoistConfig,
-        loc: &Point,
-        total_objects: u64,
-        now: Timestamp,
-    ) -> Result<u8> {
-        let index = cfg.space.leaf_cell(loc).index;
+    /// Algorithm 4 fast path: probes the cache for a level covering leaf
+    /// `index`, counting a hit when the entry is fresh. Shared access
+    /// only — safe under a read guard.
+    pub fn lookup(&self, index: u64, now: Timestamp) -> FlagLookup {
         // Look back through a few candidate ranges (entries are keyed by
         // range start; nested/overlapping ranges from earlier epochs may
         // shadow each other — missing just costs a recompute).
-        let mut hit: Option<u8> = None;
-        let mut stale_key: Option<u64> = None;
         for (&left, entry) in self.cache.range(..=index).rev().take(4) {
             if index < entry.right {
                 if now.secs_since(entry.created) <= self.ttl_secs {
-                    hit = Some(entry.level);
-                } else {
-                    stale_key = Some(left);
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return FlagLookup::Hit(entry.level);
                 }
-                break;
+                return FlagLookup::Stale(left);
             }
         }
-        if let Some(level) = hit {
-            self.stats.cache_hits += 1;
-            return Ok(level);
-        }
+        FlagLookup::Miss
+    }
+
+    /// Algorithm 4 slow path: records the miss, evicts the stale entry
+    /// from [`FlagTuner::lookup`] (if any), and caches `level` for the
+    /// whole cell at that level containing `loc`. The only method that
+    /// mutates the cache — callers take the write guard just for this.
+    pub fn complete_miss(
+        &mut self,
+        stale_key: Option<u64>,
+        cfg: &MoistConfig,
+        loc: &Point,
+        level: u8,
+        now: Timestamp,
+    ) {
         if let Some(k) = stale_key {
             self.cache.remove(&k);
         }
-        self.stats.cache_misses += 1;
-        let level = self.calculate_best_level(s, tables, cfg, loc, total_objects)?;
-        // Cache the level for the whole cell at that level containing loc.
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let cell = cfg.space.cell_at(level, loc);
         if let Some((left, right)) = cell.descendant_range(cfg.space.leaf_level) {
             if self.cache.len() >= self.max_entries {
@@ -128,13 +154,35 @@ impl FlagTuner {
                 },
             );
         }
+    }
+
+    /// Algorithm 4: cached best level for `loc`, recomputing on miss or
+    /// staleness. `total_objects` is the global object count `n` feeding
+    /// Algorithm 3's initial guess.
+    pub fn best_level(
+        &mut self,
+        s: &mut Session,
+        tables: &MoistTables,
+        cfg: &MoistConfig,
+        loc: &Point,
+        total_objects: u64,
+        now: Timestamp,
+    ) -> Result<u8> {
+        let index = cfg.space.leaf_cell(loc).index;
+        let stale_key = match self.lookup(index, now) {
+            FlagLookup::Hit(level) => return Ok(level),
+            FlagLookup::Stale(k) => Some(k),
+            FlagLookup::Miss => None,
+        };
+        let level = self.calculate_best_level(s, tables, cfg, loc, total_objects)?;
+        self.complete_miss(stale_key, cfg, loc, level, now);
         Ok(level)
     }
 
     /// Algorithm 3: bisection on the level so the cell containing `loc`
     /// holds about σ objects.
     pub fn calculate_best_level(
-        &mut self,
+        &self,
         s: &mut Session,
         tables: &MoistTables,
         cfg: &MoistConfig,
@@ -153,7 +201,7 @@ impl FlagTuner {
         loop {
             let cell = cfg.space.cell_at(clamp(ln), loc);
             let m = tables.spatial_count_cell(s, cell, leaf)? as f64;
-            self.stats.probes += 1;
+            self.probes.fetch_add(1, Ordering::Relaxed);
             // δ = ½ log₂(m/σ); empty cells push strongly coarser.
             let delta_f = 0.5 * (m.max(0.25) / sigma).log2();
             let delta = delta_f.round() as i64;
@@ -234,7 +282,7 @@ mod tests {
     fn converged_level_holds_about_sigma_objects() {
         let (_st, t, mut s, cfg) = setup(32);
         scatter(&mut s, &t, &cfg, 2000, 0.0, 0.0, 1000.0, 1000.0);
-        let mut tuner = FlagTuner::new(&cfg);
+        let tuner = FlagTuner::new(&cfg);
         let loc = Point::new(500.0, 500.0);
         let level = tuner
             .calculate_best_level(&mut s, &t, &cfg, &loc, 2000)
@@ -256,7 +304,7 @@ mod tests {
         // Dense cluster bottom-left, sparse everywhere else.
         scatter(&mut s, &t, &cfg, 3000, 0.0, 0.0, 120.0, 120.0);
         scatter(&mut s, &t, &cfg, 50, 500.0, 500.0, 500.0, 500.0);
-        let mut tuner = FlagTuner::new(&cfg);
+        let tuner = FlagTuner::new(&cfg);
         let dense = tuner
             .calculate_best_level(&mut s, &t, &cfg, &Point::new(60.0, 60.0), 3050)
             .unwrap();
@@ -302,7 +350,7 @@ mod tests {
     #[test]
     fn empty_map_converges_to_a_coarse_level() {
         let (_st, t, mut s, cfg) = setup(32);
-        let mut tuner = FlagTuner::new(&cfg);
+        let tuner = FlagTuner::new(&cfg);
         let level = tuner
             .calculate_best_level(&mut s, &t, &cfg, &Point::new(500.0, 500.0), 0)
             .unwrap();

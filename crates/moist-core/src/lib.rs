@@ -78,7 +78,7 @@ pub use codec::{LfRecord, LocationRecord};
 pub use config::{table_names, MoistConfig};
 pub use controller::{AutoController, ControllerAction, ControllerConfig, ControllerEvent};
 pub use error::{MoistError, Result};
-pub use flag::{FlagStats, FlagTuner};
+pub use flag::{FlagLookup, FlagStats, FlagTuner};
 pub use hexgrid::{HexBin, HexGrid};
 pub use ids::ObjectId;
 pub use ingest::{BackpressurePolicy, IngestConfig, IngestStats, SubmitOutcome};

@@ -1,16 +1,34 @@
 //! The MOIST front-end server.
 //!
-//! A [`MoistServer`] is one of the paper's front-end machines: it owns a
-//! cost-charged store session, applies updates (Algorithm 1), answers NN
-//! queries (Algorithm 2 + FLAG), runs lazy clustering on its schedule, and
-//! streams leaders' location records into the PPP archiver. Several servers
-//! share one `Arc<Bigtable>` exactly like the paper's 5- and 10-server
-//! deployments share one BigTable (§4.3.3).
+//! A [`MoistServer`] is one of the paper's front-end machines: it applies
+//! updates (Algorithm 1), answers NN queries (Algorithm 2 + FLAG), runs
+//! lazy clustering on its schedule, and streams leaders' location records
+//! into the PPP archiver. Several servers share one `Arc<Bigtable>`
+//! exactly like the paper's 5- and 10-server deployments share one
+//! BigTable (§4.3.3).
+//!
+//! ## Intra-shard concurrency
+//!
+//! Query paths (`nn*`, `region*`, `*_partial`, `position`, `flag_level`)
+//! take `&self`: each call opens an ephemeral [`Session`] attached to the
+//! server's shared [`MeterHub`], so cost accounting needs no `&mut`
+//! clock, and all query-side bookkeeping lives behind shared-friendly
+//! state (atomic [`ServerStats`] counters, a `Mutex<LoadTracker>`, an
+//! `RwLock<FlagTuner>` whose write guard is taken only when a query
+//! actually re-tunes the level). Write paths (`update`, `update_batch`,
+//! `run_due_clustering`, scheduler handoff) keep `&mut self`. A cluster
+//! tier can therefore put each shard behind an `RwLock` and serve many
+//! concurrent readers per shard while writers stay exclusive.
+//!
+//! Ephemeral sessions are *seeded* from the hub's running totals, so on a
+//! single thread every charge lands in the same order and at the same
+//! absolute clock value as the old one-shared-session design — virtual
+//! time stays bit-identical.
 
 use crate::cluster::{cluster_cell, ClusterReport, ClusterScheduler};
 use crate::config::MoistConfig;
 use crate::error::{MoistError, Result};
-use crate::flag::{FlagStats, FlagTuner};
+use crate::flag::{FlagLookup, FlagStats, FlagTuner};
 use crate::ids::ObjectId;
 use crate::load::{CellRates, LoadTracker};
 use crate::nn::{nn_query, Neighbor, NnOptions, NnStats};
@@ -18,8 +36,9 @@ use crate::school::estimated_location;
 use crate::tables::MoistTables;
 use crate::update::{apply_update, apply_update_batch, UpdateMessage, UpdateOutcome};
 use moist_archive::{HistoryRecord, PppArchiver, QueryCost};
-use moist_bigtable::{Bigtable, BigtableError, Session, Timestamp};
+use moist_bigtable::{Bigtable, BigtableError, MeterHub, Session, Timestamp};
 use moist_spatial::Point;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,15 +95,54 @@ impl ServerStats {
     }
 }
 
+/// Atomic backing for [`ServerStats`] so query paths can count through
+/// `&self`; [`StatsCells::snapshot`] materialises the public struct.
+#[derive(Debug, Default)]
+struct StatsCells {
+    updates: AtomicU64,
+    shed: AtomicU64,
+    leader_updates: AtomicU64,
+    registered: AtomicU64,
+    departures: AtomicU64,
+    nn_queries: AtomicU64,
+    cluster_runs: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            updates: self.updates.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            leader_updates: self.leader_updates.load(Ordering::Relaxed),
+            registered: self.registered.load(Ordering::Relaxed),
+            departures: self.departures.load(Ordering::Relaxed),
+            nn_queries: self.nn_queries.load(Ordering::Relaxed),
+            cluster_runs: self.cluster_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One MOIST front-end server.
 pub struct MoistServer {
     cfg: MoistConfig,
     tables: MoistTables,
+    /// Shared accumulator of virtual time and op counts; every session
+    /// this server opens (ephemeral per-call or the persistent one
+    /// below) mirrors its charges here.
+    hub: Arc<MeterHub>,
+    /// Persistent hub-attached session, kept for [`session_mut`]
+    /// (benches reset the clock through it; tests thread it into table
+    /// helpers). Query/update paths use ephemeral hubbed sessions
+    /// instead so they never need `&mut` access to this field.
+    ///
+    /// [`session_mut`]: MoistServer::session_mut
     session: Session,
-    flag: FlagTuner,
+    /// FLAG tuner: read guard for cache hits and Algorithm 3 probes,
+    /// write guard only to install a re-tuned level.
+    flag: RwLock<FlagTuner>,
     scheduler: ClusterScheduler,
     archiver: Option<Arc<PppArchiver>>,
-    stats: ServerStats,
+    stats: StatsCells,
     /// Object-count estimate for FLAG's initial guess. Seeded from the
     /// store on construction (a server joining an already-populated store
     /// must not feed FLAG `n = 1`), bumped on local registrations, and
@@ -93,13 +151,15 @@ pub struct MoistServer {
     /// too. Shared across shards in a cluster tier.
     object_estimate: Arc<AtomicU64>,
     /// Updates since the estimate was last re-seeded from the store.
-    estimate_staleness: u64,
+    estimate_staleness: AtomicU64,
     /// Per-clustering-cell EWMA demand rates (the load-signal layer the
     /// cluster tier's weighted placement, hot-cell splitting and fan-out
     /// balancing all consume), plus scatter-slice service counters. Lives
     /// next to the FLAG machinery: FLAG estimates *density*, this tracks
-    /// *demand*.
-    load: LoadTracker,
+    /// *demand*. Behind a small internal lock (EWMA folds need `&mut`)
+    /// so scatter slices of concurrent queries can record cost from
+    /// `&self`.
+    load: Mutex<LoadTracker>,
 }
 
 /// Opens the MOIST tables, creating them only when genuinely missing.
@@ -130,18 +190,31 @@ impl MoistServer {
         // One affiliation row per object ever seen: the store's estimate is
         // the right FLAG seed even when this server joins late.
         let seed = tables.affiliation.approx_row_count();
+        let hub = Arc::new(MeterHub::new());
+        let session = store.session_with_hub(store.config().cost_profile, Arc::clone(&hub));
         Ok(MoistServer {
-            flag: FlagTuner::new(&cfg),
+            flag: RwLock::new(FlagTuner::new(&cfg)),
             scheduler: ClusterScheduler::new(&cfg),
-            session: store.session(),
+            hub,
+            session,
             archiver: None,
-            stats: ServerStats::default(),
+            stats: StatsCells::default(),
             object_estimate: Arc::new(AtomicU64::new(seed)),
-            estimate_staleness: 0,
-            load: LoadTracker::default(),
+            estimate_staleness: AtomicU64::new(0),
+            load: Mutex::new(LoadTracker::default()),
             tables,
             cfg,
         })
+    }
+
+    /// Opens an ephemeral cost session for one call: charges mirror into
+    /// the shared hub and the session's meter is seeded from the hub's
+    /// running totals, so single-threaded charge sequences (and every
+    /// mid-call `elapsed_us` diff) are bit-identical to one shared clock.
+    fn charged_session(&self) -> Session {
+        self.session
+            .store()
+            .session_with_hub(*self.session.profile(), Arc::clone(&self.hub))
     }
 
     /// Attaches the PPP archiver: every non-shed location write is also
@@ -189,24 +262,33 @@ impl MoistServer {
         &self.tables
     }
 
-    /// Mutable access to the underlying session (benches reset its clock).
+    /// Mutable access to the persistent session (benches reset its clock
+    /// through here; resetting a hub-attached session resets the shared
+    /// hub too, so the server-wide totals really zero).
     pub fn session_mut(&mut self) -> &mut Session {
         &mut self.session
     }
 
-    /// Virtual microseconds this server has consumed.
+    /// Virtual microseconds this server has consumed across all its
+    /// sessions (the shared hub total).
     pub fn elapsed_us(&self) -> f64 {
-        self.session.elapsed_us()
+        self.hub.elapsed_us()
+    }
+
+    /// The shared meter hub (cost accounting for every session this
+    /// server opens).
+    pub fn meter_hub(&self) -> &Arc<MeterHub> {
+        &self.hub
     }
 
     /// Operation counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// FLAG tuner counters.
     pub fn flag_stats(&self) -> FlagStats {
-        self.flag.stats()
+        self.flag.read().stats()
     }
 
     /// The clustering scheduler (ownership inspection for cluster tiers).
@@ -225,20 +307,20 @@ impl MoistServer {
 
     /// The per-clustering-cell EWMA demand rates as of `now` (ascending
     /// cell order) — this server's slice of the load-signal layer.
-    pub fn load_rates(&mut self, now: Timestamp) -> Vec<(u64, CellRates)> {
-        self.load.rates(now)
+    pub fn load_rates(&self, now: Timestamp) -> Vec<(u64, CellRates)> {
+        self.load.lock().rates(now)
     }
 
     /// Total `(update rate, query rate)` across this server's tracked
     /// cells at `now`.
-    pub fn load_totals(&mut self, now: Timestamp) -> (f64, f64) {
-        self.load.totals(now)
+    pub fn load_totals(&self, now: Timestamp) -> (f64, f64) {
+        self.load.lock().totals(now)
     }
 
     /// `(count, virtual µs)` of scattered partial scans (region + NN
     /// slices) this server has executed for the cluster tier's fan-out.
     pub fn scatter_slice_stats(&self) -> (u64, f64) {
-        self.load.scatter_slice_stats()
+        self.load.lock().scatter_slice_stats()
     }
 
     /// Learned per-clustering-cell scan costs (virtual µs per full-cell
@@ -246,7 +328,7 @@ impl MoistServer {
     /// server executed. The cluster tier merges these across shards at
     /// rebalance to price fan-out slices.
     pub fn cell_scan_costs(&self) -> Vec<(u64, f64)> {
-        self.load.cell_scan_costs()
+        self.load.lock().cell_scan_costs()
     }
 
     /// Current object-count estimate feeding FLAG's initial level guess.
@@ -260,16 +342,17 @@ impl MoistServer {
     /// `fetch_max`, not `store`: a plain store would erase a registration
     /// another shard counted between our row-count read and the write.
     /// Objects are never deleted, so the estimate only ever needs raising.
-    pub fn refresh_object_estimate(&mut self) -> u64 {
+    pub fn refresh_object_estimate(&self) -> u64 {
         let n = self.tables.affiliation.approx_row_count();
-        self.estimate_staleness = 0;
+        self.estimate_staleness.store(0, Ordering::Relaxed);
         self.object_estimate.fetch_max(n, Ordering::Relaxed).max(n)
     }
 
     /// Applies one update (Algorithm 1), maintaining counters and feeding
     /// the archiver on the non-shed branches.
     pub fn update(&mut self, msg: &UpdateMessage) -> Result<UpdateOutcome> {
-        let outcome = apply_update(&mut self.session, &self.tables, &self.cfg, msg)?;
+        let mut s = self.charged_session();
+        let outcome = apply_update(&mut s, &self.tables, &self.cfg, msg)?;
         self.account_update(msg, outcome);
         Ok(outcome)
     }
@@ -287,7 +370,8 @@ impl MoistServer {
     /// the only failures are store errors, which the synchronous path
     /// treats as fatal too.
     pub fn update_batch(&mut self, msgs: &[UpdateMessage]) -> Result<Vec<UpdateOutcome>> {
-        let outcomes = apply_update_batch(&mut self.session, &self.tables, &self.cfg, msgs)?;
+        let mut s = self.charged_session();
+        let outcomes = apply_update_batch(&mut s, &self.tables, &self.cfg, msgs)?;
         for (msg, &outcome) in msgs.iter().zip(&outcomes) {
             self.account_update(msg, outcome);
         }
@@ -298,22 +382,28 @@ impl MoistServer {
     /// apply paths: outcome counters, the per-cell load signal, lazy
     /// object-estimate refresh, and archiver ingestion for non-shed
     /// branches.
-    fn account_update(&mut self, msg: &UpdateMessage, outcome: UpdateOutcome) {
-        self.stats.updates += 1;
+    fn account_update(&self, msg: &UpdateMessage, outcome: UpdateOutcome) {
+        self.stats.updates.fetch_add(1, Ordering::Relaxed);
         let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &msg.loc);
-        self.load.observe_update(cell.index, msg.ts);
-        self.estimate_staleness += 1;
-        if self.estimate_staleness >= ESTIMATE_REFRESH_OPS {
+        self.load.lock().observe_update(cell.index, msg.ts);
+        let stale = self.estimate_staleness.fetch_add(1, Ordering::Relaxed) + 1;
+        if stale >= ESTIMATE_REFRESH_OPS {
             self.refresh_object_estimate();
         }
         match outcome {
-            UpdateOutcome::Shed => self.stats.shed += 1,
-            UpdateOutcome::LeaderUpdated => self.stats.leader_updates += 1,
+            UpdateOutcome::Shed => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            UpdateOutcome::LeaderUpdated => {
+                self.stats.leader_updates.fetch_add(1, Ordering::Relaxed);
+            }
             UpdateOutcome::Registered => {
-                self.stats.registered += 1;
+                self.stats.registered.fetch_add(1, Ordering::Relaxed);
                 self.object_estimate.fetch_add(1, Ordering::Relaxed);
             }
-            UpdateOutcome::Departed { .. } => self.stats.departures += 1,
+            UpdateOutcome::Departed { .. } => {
+                self.stats.departures.fetch_add(1, Ordering::Relaxed);
+            }
         }
         if outcome != UpdateOutcome::Shed {
             if let Some(archiver) = &self.archiver {
@@ -326,22 +416,18 @@ impl MoistServer {
     }
 
     /// k-nearest-neighbour query with FLAG-tuned level.
-    pub fn nn(
-        &mut self,
-        center: Point,
-        k: usize,
-        at: Timestamp,
-    ) -> Result<(Vec<Neighbor>, NnStats)> {
+    pub fn nn(&self, center: Point, k: usize, at: Timestamp) -> Result<(Vec<Neighbor>, NnStats)> {
+        // One session threads FLAG's probes and the NN scan, so the
+        // charge sequence matches the old shared-session design exactly.
+        let mut s = self.charged_session();
         let n = self.object_estimate().max(1);
-        let level =
-            self.flag
-                .best_level(&mut self.session, &self.tables, &self.cfg, &center, n, at)?;
-        self.nn_at_level(center, k, at, level)
+        let level = self.flag_level_in(&mut s, &center, n, at)?;
+        self.nn_with_options_in(&mut s, center, at, &NnOptions::new(k, level))
     }
 
     /// k-NN at a fixed NN level (the paper's "Search Level 19/20" mode).
     pub fn nn_at_level(
-        &mut self,
+        &self,
         center: Point,
         k: usize,
         at: Timestamp,
@@ -353,30 +439,63 @@ impl MoistServer {
     /// NN query with explicit options (range limits, prediction, follower
     /// expansion — see [`NnOptions`]).
     pub fn nn_with_options(
-        &mut self,
+        &self,
         center: Point,
         at: Timestamp,
         opts: &NnOptions,
     ) -> Result<(Vec<Neighbor>, NnStats)> {
-        let out = nn_query(&mut self.session, &self.tables, &self.cfg, center, at, opts)?;
-        self.stats.nn_queries += 1;
+        let mut s = self.charged_session();
+        self.nn_with_options_in(&mut s, center, at, opts)
+    }
+
+    fn nn_with_options_in(
+        &self,
+        s: &mut Session,
+        center: Point,
+        at: Timestamp,
+        opts: &NnOptions,
+    ) -> Result<(Vec<Neighbor>, NnStats)> {
+        let out = nn_query(s, &self.tables, &self.cfg, center, at, opts)?;
+        self.stats.nn_queries.fetch_add(1, Ordering::Relaxed);
         let cell = self.cfg.space.cell_at(self.cfg.clustering_level, &center);
-        self.load.observe_query(cell.index, at);
+        self.load.lock().observe_query(cell.index, at);
         Ok(out)
     }
 
     /// FLAG-tuned NN level for `loc` at `at` (exposed for the Figure 12
     /// benches that compare FLAG against fixed levels).
-    pub fn flag_level(&mut self, loc: &Point, at: Timestamp) -> Result<u8> {
+    pub fn flag_level(&self, loc: &Point, at: Timestamp) -> Result<u8> {
+        let mut s = self.charged_session();
         let n = self.object_estimate().max(1);
+        self.flag_level_in(&mut s, loc, n, at)
+    }
+
+    /// Algorithm 4 under the split tuner lock: cache hits (the common
+    /// case) and Algorithm 3's probe loop run under the *read* guard;
+    /// the write guard is taken only to install a re-tuned level. Two
+    /// racing misses may both recompute — both arrive at the same
+    /// answer, and the cache insert is idempotent.
+    fn flag_level_in(&self, s: &mut Session, loc: &Point, n: u64, at: Timestamp) -> Result<u8> {
+        let index = self.cfg.space.leaf_cell(loc).index;
+        let stale_key = match self.flag.read().lookup(index, at) {
+            FlagLookup::Hit(level) => return Ok(level),
+            FlagLookup::Stale(k) => Some(k),
+            FlagLookup::Miss => None,
+        };
+        let level = self
+            .flag
+            .read()
+            .calculate_best_level(s, &self.tables, &self.cfg, loc, n)?;
         self.flag
-            .best_level(&mut self.session, &self.tables, &self.cfg, loc, n, at)
+            .write()
+            .complete_miss(stale_key, &self.cfg, loc, level, at);
+        Ok(level)
     }
 
     /// Predictive k-NN: neighbours ranked by their positions `horizon_secs`
     /// into the future.
     pub fn nn_predictive(
-        &mut self,
+        &self,
         center: Point,
         k: usize,
         at: Timestamp,
@@ -393,7 +512,7 @@ impl MoistServer {
     /// All objects inside a world-coordinate rectangle at `at` ("browse all
     /// running buses near a location", §5).
     pub fn region(
-        &mut self,
+        &self,
         rect: &moist_spatial::Rect,
         at: Timestamp,
         margin: f64,
@@ -402,16 +521,9 @@ impl MoistServer {
             .cfg
             .space
             .cell_at(self.cfg.clustering_level, &rect.center());
-        self.load.observe_query(cell.index, at);
-        crate::region::region_query(
-            &mut self.session,
-            &self.tables,
-            &self.cfg,
-            rect,
-            at,
-            true,
-            margin,
-        )
+        self.load.lock().observe_query(cell.index, at);
+        let mut s = self.charged_session();
+        crate::region::region_query(&mut s, &self.tables, &self.cfg, rect, at, true, margin)
     }
 
     /// Shard-local slice of a scattered region query: scans exactly the
@@ -420,20 +532,16 @@ impl MoistServer {
     /// partial. Counted as neither a query nor deduped here; the tier's
     /// merge does that exactly once.
     pub fn region_partial(
-        &mut self,
+        &self,
         ranges: &[(u64, u64)],
         rect: &moist_spatial::Rect,
         at: Timestamp,
     ) -> Result<crate::region::RegionPartial> {
-        let part = crate::region::region_partial_scan(
-            &mut self.session,
-            &self.tables,
-            ranges,
-            rect,
-            at,
-            true,
-        )?;
-        self.load.note_scatter_slice(part.stats.cost_us);
+        let mut s = self.charged_session();
+        let part =
+            crate::region::region_partial_scan(&mut s, &self.tables, ranges, rect, at, true)?;
+        let mut load = self.load.lock();
+        load.note_scatter_slice(part.stats.cost_us);
         // Scan-cost learning: apportion each range's measured cost onto
         // the clustering cells it overlaps (span-proportional within the
         // range), so the tier's next rebalance can price fan-out slices
@@ -446,14 +554,13 @@ impl MoistServer {
             if total <= 0.0 {
                 continue;
             }
-            let mut s = start;
-            while s < end {
-                let cell = s >> shift;
-                let e = end.min((cell + 1) << shift);
-                let covered = (e - s) as f64;
-                self.load
-                    .note_cell_scan(cell, covered / cell_span, cost_us * covered / total);
-                s = e;
+            let mut lo = start;
+            while lo < end {
+                let cell = lo >> shift;
+                let hi = end.min((cell + 1) << shift);
+                let covered = (hi - lo) as f64;
+                load.note_cell_scan(cell, covered / cell_span, cost_us * covered / total);
+                lo = hi;
             }
         }
         Ok(part)
@@ -463,8 +570,8 @@ impl MoistServer {
     /// calls this on the anchor shard when a *scattered* query completes
     /// from partials alone, so [`ServerStats::nn_queries`] reflects every
     /// client query exactly once regardless of which path served it.
-    pub fn note_query_served(&mut self) {
-        self.stats.nn_queries += 1;
+    pub fn note_query_served(&self) {
+        self.stats.nn_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Shard-local slice of a scattered NN query: scans exactly the given
@@ -474,42 +581,36 @@ impl MoistServer {
     /// not one per shard — the tier credits it via
     /// [`note_query_served`](MoistServer::note_query_served).
     pub fn nn_partial(
-        &mut self,
+        &self,
         cells: &[moist_spatial::CellId],
         center: Point,
         at: Timestamp,
         opts: &NnOptions,
     ) -> Result<crate::nn::NnPartial> {
-        let cost0 = self.session.elapsed_us();
-        let part = crate::nn::nn_partial_scan(
-            &mut self.session,
-            &self.tables,
-            &self.cfg,
-            cells,
-            center,
-            at,
-            opts,
-        )?;
-        self.load
-            .note_scatter_slice(self.session.elapsed_us() - cost0);
+        let mut s = self.charged_session();
+        let cost0 = s.elapsed_us();
+        let part =
+            crate::nn::nn_partial_scan(&mut s, &self.tables, &self.cfg, cells, center, at, opts)?;
+        self.load.lock().note_scatter_slice(s.elapsed_us() - cost0);
         Ok(part)
     }
 
     /// Current position of one object: leaders from their latest record,
     /// followers via the school estimate (§3.3.1).
-    pub fn position(&mut self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
+    pub fn position(&self, oid: ObjectId, at: Timestamp) -> Result<Option<Point>> {
         use crate::codec::LfRecord;
-        match self.tables.lf(&mut self.session, oid)? {
+        let mut s = self.charged_session();
+        match self.tables.lf(&mut s, oid)? {
             None => Ok(None),
             Some(LfRecord::Leader { .. }) => Ok(self
                 .tables
-                .latest_location(&mut self.session, oid)?
+                .latest_location(&mut s, oid)?
                 .map(|(ts, rec)| rec.loc.advance(rec.vel, at.secs_since(ts)))),
             Some(LfRecord::Follower {
                 leader,
                 displacement,
                 ..
-            }) => match self.tables.latest_location(&mut self.session, leader)? {
+            }) => match self.tables.latest_location(&mut s, leader)? {
                 None => Ok(None),
                 Some((ts, rec)) => Ok(Some(estimated_location(&rec, ts, displacement, at))),
             },
@@ -518,11 +619,12 @@ impl MoistServer {
 
     /// Runs clustering for every cell due at `now` (lazy clustering).
     pub fn run_due_clustering(&mut self, now: Timestamp) -> Result<ClusterReport> {
+        let mut s = self.charged_session();
         let mut total = ClusterReport::default();
         for cell in self.scheduler.due_cells(now) {
-            let r = cluster_cell(&mut self.session, &self.tables, &self.cfg, cell, now)?;
+            let r = cluster_cell(&mut s, &self.tables, &self.cfg, cell, now)?;
             total.merge_from(&r);
-            self.stats.cluster_runs += 1;
+            self.stats.cluster_runs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(total)
     }
@@ -591,7 +693,7 @@ mod tests {
         let store = Bigtable::new();
         let cfg = MoistConfig::default();
         let mut a = MoistServer::new(&store, cfg).unwrap();
-        let mut b = MoistServer::new(&store, cfg).unwrap();
+        let b = MoistServer::new(&store, cfg).unwrap();
         a.update(&msg(1, 100.0, 100.0, 1.0, 0.0)).unwrap();
         // Server b sees server a's object.
         let pos = b.position(ObjectId(1), Timestamp::ZERO).unwrap().unwrap();
@@ -611,7 +713,7 @@ mod tests {
         }
         assert_eq!(a.object_estimate(), 50);
         // A server joining the populated store must not start from 0.
-        let mut b = MoistServer::new(&store, cfg).unwrap();
+        let b = MoistServer::new(&store, cfg).unwrap();
         assert_eq!(b.object_estimate(), 50);
         // Registrations seen elsewhere surface on refresh.
         a.update(&msg(99, 900.0, 900.0, 1.0, 0.0)).unwrap();

@@ -102,7 +102,7 @@ fn region_fanout_matches_the_oracle_while_shards_join_and_leave() {
     );
 
     // The single-shard oracle: one plain server over the same store.
-    let mut oracle = MoistServer::new(&store, cfg).unwrap();
+    let oracle = MoistServer::new(&store, cfg).unwrap();
     let (expected, _) = oracle.region(&world, Timestamp::ZERO, MARGIN).unwrap();
     let expected_ids = sorted_ids(&expected);
     assert_eq!(expected_ids.len(), 400, "the oracle sees every object");

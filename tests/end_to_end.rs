@@ -37,7 +37,7 @@ fn parallel_servers_ingest_concurrently_without_corruption() {
         assert!(*us > 0.0);
     }
     // Every object is queryable from a fresh server afterwards.
-    let mut reader = MoistServer::new(&store, cfg).unwrap();
+    let reader = MoistServer::new(&store, cfg).unwrap();
     let (nn, _) = reader
         .nn(Point::new(500.0, 500.0), 2000, Timestamp::from_secs(1))
         .unwrap();
@@ -202,7 +202,7 @@ fn store_sharing_is_visible_across_threads_mid_run() {
         }
     });
     writer.join().unwrap();
-    let mut reader = MoistServer::new(&store, cfg).unwrap();
+    let reader = MoistServer::new(&store, cfg).unwrap();
     let (nn, _) = reader
         .nn(Point::new(500.0, 500.0), 400, Timestamp::from_secs(1))
         .unwrap();
